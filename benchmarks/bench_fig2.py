@@ -1,0 +1,29 @@
+"""Benchmark regenerating Fig. 2 (PolyBench speedups over Pluto, three machines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import QUICK_KERNELS, main, run_fig2
+from repro.experiments.harness import geometric_mean
+from repro.suites.polybench import FIG2_KERNELS
+
+from .conftest import full_run
+
+
+@pytest.mark.parametrize("machine", ["AMD", "Intel1", "Intel2"])
+def test_fig2_reproduction(benchmark, machine):
+    kernels = FIG2_KERNELS if full_run() else QUICK_KERNELS[:4]
+    rows = benchmark.pedantic(run_fig2, args=(machine, kernels), iterations=1, rounds=1)
+    assert len(rows) == len(kernels)
+    # Shape check: the kernel-specific configuration is at least as good as the
+    # generic strategies on every kernel (the paper's central claim for Fig. 2),
+    # and its geomean speedup over Pluto is >= 1.
+    for row in rows:
+        assert row.speedups["kernel-spec"] >= row.speedups["pluto-style"] - 1e-9
+        assert row.speedups["kernel-spec"] >= row.speedups["tensor-scheduler-style"] - 1e-9
+        assert row.speedups["kernel-spec"] >= row.speedups["isl-style"] - 1e-9
+    geomean = geometric_mean([row.speedups["kernel-spec"] for row in rows])
+    assert geomean >= 1.0
+    print()
+    main(machine, kernels)

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 3 (jacobi-1d dataset-size sweep)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import SIZE_LABELS, main, run_fig3
+
+from .conftest import full_run
+
+QUICK_SIZES = (("large", 1.0), ("4xlarge", 4.0), ("8xlarge", 8.0), ("16xlarge", 16.0))
+
+
+def test_fig3_reproduction(benchmark):
+    sizes = SIZE_LABELS if full_run() else QUICK_SIZES
+    points = benchmark.pedantic(run_fig3, args=("Intel1", sizes), iterations=1, rounds=1)
+    assert len(points) == len(sizes)
+    # Shape check: the advantage of the large-size-dedicated configuration
+    # shrinks as the dataset grows (Pluto's wavefront parallelism amortises its
+    # overhead on large problems), while the pluto-style configuration stays
+    # close to 1x at every size.
+    assert points[0].dedicated_speedup > points[-1].dedicated_speedup
+    for point in points:
+        assert 0.5 <= point.pluto_style_speedup <= 2.0
+    print()
+    main("Intel1", sizes)

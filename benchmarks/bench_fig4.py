@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 4 (PolyTOPS vs. Pluto+, Pluto-lp-dfp, isl-PPCG)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import main, run_fig4
+from repro.experiments.harness import geometric_mean
+from repro.suites.polybench import FIG2_KERNELS
+
+from .conftest import full_run
+
+QUICK_KERNELS = ("jacobi-1d", "atax", "bicg", "gemm")
+
+
+def test_fig4_reproduction(benchmark):
+    kernels = FIG2_KERNELS if full_run() else QUICK_KERNELS
+    rows = benchmark.pedantic(run_fig4, args=("Intel1", kernels), iterations=1, rounds=1)
+    assert len(rows) == len(kernels)
+    # Shape check: the kernel-specific PolyTOPS configuration is competitive
+    # with every comparison tool in geomean (the paper's Fig. 4 conclusion).
+    polytops = geometric_mean([row.speedups["polytops"] for row in rows])
+    for tool in ("pluto-lp-dfp", "pluto+", "isl-ppcg"):
+        others = geometric_mean([row.speedups[tool] for row in rows])
+        assert polytops >= others * 0.9
+    print()
+    main("Intel1", kernels)

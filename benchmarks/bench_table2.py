@@ -1,0 +1,27 @@
+"""Benchmark regenerating Table II (PolyMage pipelines)."""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import main, run_table2
+from repro.suites.polymage import POLYMAGE_PIPELINES
+
+from .conftest import full_run
+
+QUICK_PIPELINES = ("harris", "unsharp-mask")
+
+
+def test_table2_reproduction(benchmark):
+    pipelines = tuple(POLYMAGE_PIPELINES) if full_run() else QUICK_PIPELINES
+    rows = benchmark.pedantic(run_table2, args=("Intel1", pipelines), iterations=1, rounds=1)
+    assert len(rows) == len(pipelines)
+    for row in rows:
+        ours = row.timings_ms["polytops"]
+        assert ours is not None and ours > 0
+        # Shape check: PolyTOPS is on par with (or better than) the tools that
+        # support the pipeline, within a 25% tolerance as in the paper's table.
+        for tool, timing in row.timings_ms.items():
+            if tool == "polytops" or timing is None:
+                continue
+            assert ours <= timing * 1.25
+    print()
+    main("Intel1", pipelines)

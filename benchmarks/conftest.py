@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  By default the
+PolyBench-based benchmarks run on a representative subset of kernels so that a
+full ``pytest benchmarks/ --benchmark-only`` pass stays in the minutes range;
+set ``REPRO_FULL=1`` to sweep the complete kernel lists used in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_run() -> bool:
+    """True when the complete (slow) experiment sweeps are requested."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def repro_full() -> bool:
+    return full_run()

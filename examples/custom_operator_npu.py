@@ -1,0 +1,58 @@
+"""The paper's NPU scenario (Listing 4 / Table I): vectorisation directives on Ascend.
+
+The ``trsmL_off_diag`` custom operator is scheduled twice:
+
+* with the isl-style strategy (the scheduler previously used by AKG), which
+  favours outer parallelism and leaves the stride-1 lane loop buried;
+* with the PolyTOPS configuration used in the paper: proximity cost plus
+  vectorisation directives (auto-detected from the memory access pattern),
+  which interchanges the loops so the 16-lane ``k`` loop ends up innermost and
+  unfused, exactly like the transformed code of the paper's Listing 4b.
+
+Run with ``python examples/custom_operator_npu.py``.
+"""
+
+from __future__ import annotations
+
+from repro.codegen import generate_ast, to_c
+from repro.deps import compute_dependences
+from repro.machine import ascend_910, estimate_cycles
+from repro.scheduler import Directive, PolyTOPSScheduler, isl_style, npu_vectorize_style
+from repro.suites.custom_ops import trsm_l_off_diag
+
+
+def main() -> None:
+    scop = trsm_l_off_diag(rows=12, blocks=2, lanes=8)
+    dependences = compute_dependences(scop)
+    machine = ascend_910()
+
+    # Baseline: the isl scheduler as previously used by AKG.
+    isl_result = PolyTOPSScheduler(scop, isl_style(), dependences=dependences).schedule()
+    isl_report = estimate_cycles(scop, isl_result.schedule, machine)
+
+    # PolyTOPS with explicit/auto vectorisation directives (the paper also shows
+    # an explicit form: vectorize statement 0/1 along iterator k).
+    config = npu_vectorize_style(
+        directives=(
+            Directive(kind="vectorize", statements=("0", "1"), iterator="k"),
+        )
+    )
+    polytops_result = PolyTOPSScheduler(scop, config, dependences=dependences).schedule()
+    polytops_report = estimate_cycles(scop, polytops_result.schedule, machine)
+
+    print("== isl schedule ==")
+    print(isl_result.schedule)
+    print(f"simulated cycles: {isl_report.cycles:,.0f}\n")
+
+    print("== PolyTOPS schedule (vectorisation directives) ==")
+    print(polytops_result.schedule)
+    print(f"simulated cycles: {polytops_report.cycles:,.0f}")
+    print(f"speedup over isl: {polytops_report.speedup_over(isl_report):.2f}x\n")
+
+    print("== generated code for the PolyTOPS schedule (excerpt) ==")
+    code = to_c(scop, generate_ast(scop, polytops_result.schedule))
+    print("\n".join(code.splitlines()[:24]))
+
+
+if __name__ == "__main__":
+    main()

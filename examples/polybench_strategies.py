@@ -1,0 +1,39 @@
+"""Compare scheduling strategies on PolyBench kernels (the Fig. 2 scenario).
+
+For a handful of PolyBench kernels, this example schedules each kernel with the
+pluto-style, tensor-scheduler-style and isl-style configurations plus a
+kernel-specific candidate pool, simulates them on the Intel1 machine model and
+prints the speedups over the Pluto baseline — a small-scale version of the
+paper's Fig. 2.
+
+Run with ``python examples/polybench_strategies.py [kernel ...]``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.fig2 import STRATEGY_ORDER, run_fig2
+from repro.experiments.harness import geometric_mean
+from repro.experiments.reporting import format_speedup, format_table
+
+
+def main(kernels: list[str]) -> None:
+    rows = run_fig2("Intel1", tuple(kernels))
+    table = [
+        [row.kernel] + [format_speedup(row.speedups[s]) for s in STRATEGY_ORDER]
+        for row in rows
+    ]
+    table.append(
+        ["geomean"]
+        + [
+            format_speedup(geometric_mean([row.speedups[s] for row in rows]))
+            for s in STRATEGY_ORDER
+        ]
+    )
+    print(format_table(["kernel", *STRATEGY_ORDER], table, title="Speedups over Pluto (Intel1 model)"))
+
+
+if __name__ == "__main__":
+    selected = sys.argv[1:] or ["atax", "mvt", "gemm", "jacobi-1d"]
+    main(selected)

@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e . --no-use-pep517`` path on offline machines.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""PolyTOPS reproduction: a reconfigurable and flexible polyhedral scheduler.
+
+The public API re-exports the most commonly used entry points:
+
+* building SCoPs (:mod:`repro.model`, :mod:`repro.frontend`),
+* dependence analysis (:mod:`repro.deps`),
+* the configurable scheduler (:mod:`repro.scheduler`),
+* post-processing, code generation and the machine model used for evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

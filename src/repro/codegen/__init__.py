@@ -1,0 +1,25 @@
+"""Code generation: scanning AST, C writer and the validation executor."""
+
+from .ast import BlockNode, CallNode, GuardNode, LoopNode, Node, count_guards, count_loops
+from .c_writer import CWriter, to_c
+from .executor import ExecutionStats, Executor, execute, run_original, run_schedule
+from .generator import CodeGenerator, generate_ast
+
+__all__ = [
+    "BlockNode",
+    "CallNode",
+    "GuardNode",
+    "LoopNode",
+    "Node",
+    "count_guards",
+    "count_loops",
+    "CWriter",
+    "to_c",
+    "ExecutionStats",
+    "Executor",
+    "execute",
+    "run_original",
+    "run_schedule",
+    "CodeGenerator",
+    "generate_ast",
+]

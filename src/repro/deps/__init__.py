@@ -1,0 +1,15 @@
+"""Dependence analysis: exact dependence polyhedra and the dependence graph."""
+
+from .analysis import DependenceAnalysis, compute_dependences
+from .dependence import SOURCE_SUFFIX, TARGET_SUFFIX, Dependence, DependenceKind
+from .graph import DependenceGraph
+
+__all__ = [
+    "DependenceAnalysis",
+    "compute_dependences",
+    "Dependence",
+    "DependenceKind",
+    "DependenceGraph",
+    "SOURCE_SUFFIX",
+    "TARGET_SUFFIX",
+]

@@ -1,0 +1,156 @@
+"""Memory-based dependence analysis.
+
+For every ordered pair of statements and every pair of accesses to the same
+array (with at least one write), a dependence polyhedron is built per original
+execution depth: both instances in their domains, equal subscripts, and the
+source instance lexicographically before the target instance with the first
+difference at that depth.  Non-empty polyhedra become :class:`Dependence`
+objects.  This matches the abstraction used by Candl/Pluto (memory-based
+dependences, per-depth splitting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..model.access import ArrayAccess
+from ..model.scop import Scop
+from ..model.statement import Statement
+from ..polyhedra.affine import AffineExpr
+from ..polyhedra.constraint import AffineConstraint
+from ..polyhedra.polyhedron import Polyhedron
+from ..polyhedra.space import Space
+from .dependence import SOURCE_SUFFIX, TARGET_SUFFIX, Dependence, DependenceKind
+
+__all__ = ["DependenceAnalysis", "compute_dependences"]
+
+
+@dataclass
+class DependenceAnalysis:
+    """Configuration for the dependence analysis."""
+
+    include_flow: bool = True
+    include_anti: bool = True
+    include_output: bool = True
+
+    def run(self, scop: Scop) -> list[Dependence]:
+        dependences: list[Dependence] = []
+        for source in scop.statements:
+            for target in scop.statements:
+                dependences.extend(self._statement_pair(scop, source, target))
+        return dependences
+
+    # ------------------------------------------------------------------ #
+    # Per statement pair
+    # ------------------------------------------------------------------ #
+    def _statement_pair(
+        self, scop: Scop, source: Statement, target: Statement
+    ) -> Iterable[Dependence]:
+        arrays = source.accessed_arrays() & target.accessed_arrays()
+        for array in sorted(arrays):
+            for source_access in source.accesses_to(array):
+                for target_access in target.accesses_to(array):
+                    kind = self._classify(source_access, target_access)
+                    if kind is None:
+                        continue
+                    yield from self._access_pair(
+                        scop, source, target, source_access, target_access, kind
+                    )
+
+    def _classify(
+        self, source_access: ArrayAccess, target_access: ArrayAccess
+    ) -> DependenceKind | None:
+        if not (source_access.is_write or target_access.is_write):
+            return None
+        kind = DependenceKind.of(source_access, target_access)
+        if kind is DependenceKind.FLOW and not self.include_flow:
+            return None
+        if kind is DependenceKind.ANTI and not self.include_anti:
+            return None
+        if kind is DependenceKind.OUTPUT and not self.include_output:
+            return None
+        return kind
+
+    def _access_pair(
+        self,
+        scop: Scop,
+        source: Statement,
+        target: Statement,
+        source_access: ArrayAccess,
+        target_access: ArrayAccess,
+        kind: DependenceKind,
+    ) -> Iterable[Dependence]:
+        source_map = {name: f"{name}{SOURCE_SUFFIX}" for name in source.iterators}
+        target_map = {name: f"{name}{TARGET_SUFFIX}" for name in target.iterators}
+        combined_space = Space(
+            tuple(source_map[name] for name in source.iterators)
+            + tuple(target_map[name] for name in target.iterators),
+            scop.parameters,
+        )
+
+        base_constraints: list[AffineConstraint] = []
+        base_constraints.extend(
+            constraint.rename(source_map) for constraint in source.domain.constraints
+        )
+        base_constraints.extend(
+            constraint.rename(target_map) for constraint in target.domain.constraints
+        )
+        base_constraints.extend(scop.context)
+        for source_index, target_index in zip(source_access.indices, target_access.indices):
+            base_constraints.append(
+                AffineConstraint.equals(
+                    source_index.rename(source_map), target_index.rename(target_map)
+                )
+            )
+
+        source_rows = _padded_rows(source.original_schedule, scop)
+        target_rows = _padded_rows(target.original_schedule, scop)
+        n_levels = max(len(source_rows), len(target_rows))
+        source_rows = _pad(source_rows, n_levels)
+        target_rows = _pad(target_rows, n_levels)
+
+        prefix_equalities: list[AffineConstraint] = []
+        for depth in range(n_levels):
+            difference = target_rows[depth].rename(target_map) - source_rows[depth].rename(
+                source_map
+            )
+            level_constraints = list(base_constraints) + list(prefix_equalities)
+            level_constraints.append(AffineConstraint.greater_equal(difference, 1))
+            polyhedron = Polyhedron.from_constraints(combined_space, level_constraints)
+            if not polyhedron.has_trivial_contradiction() and not polyhedron.is_empty():
+                yield Dependence(
+                    source=source.name,
+                    target=target.name,
+                    kind=kind,
+                    array=source_access.array,
+                    polyhedron=polyhedron,
+                    source_map=source_map,
+                    target_map=target_map,
+                    depth=depth,
+                    source_access=source_access,
+                    target_access=target_access,
+                )
+            prefix_equalities.append(AffineConstraint.equals(difference, 0))
+
+
+def _padded_rows(rows: Sequence[AffineExpr], scop: Scop) -> list[AffineExpr]:
+    return list(rows)
+
+
+def _pad(rows: list[AffineExpr], length: int) -> list[AffineExpr]:
+    padded = list(rows)
+    while len(padded) < length:
+        padded.append(AffineExpr.const(0))
+    return padded
+
+
+def compute_dependences(
+    scop: Scop,
+    include_flow: bool = True,
+    include_anti: bool = True,
+    include_output: bool = True,
+) -> list[Dependence]:
+    """Compute the dependences of *scop* (flow, anti and output by default)."""
+    analysis = DependenceAnalysis(include_flow, include_anti, include_output)
+    return analysis.run(scop)

@@ -1,0 +1,163 @@
+"""Dependence graph utilities: strongly connected components and topological orders.
+
+The scheduler's distribution fallback (Algorithm 1, lines 32-36) splits the
+statements according to the strongly connected components of the dependence
+graph and orders the components topologically.  The fusion controller reuses
+the same machinery to check that user-requested fusion groups are legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .dependence import Dependence
+
+__all__ = ["DependenceGraph"]
+
+
+@dataclass
+class DependenceGraph:
+    """A directed multigraph over statement names."""
+
+    nodes: list[str]
+    edges: list[tuple[str, str, Dependence]] = field(default_factory=list)
+
+    @classmethod
+    def from_dependences(
+        cls, statements: Sequence[str], dependences: Iterable[Dependence]
+    ) -> "DependenceGraph":
+        graph = cls(list(statements))
+        for dependence in dependences:
+            graph.edges.append((dependence.source, dependence.target, dependence))
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    def successors(self, node: str) -> list[str]:
+        return [target for source, target, _ in self.edges if source == node]
+
+    def has_edge(self, source: str, target: str) -> bool:
+        return any(s == source and t == target for s, t, _ in self.edges)
+
+    def edges_between(self, sources: set[str], targets: set[str]) -> list[Dependence]:
+        return [
+            dependence
+            for source, target, dependence in self.edges
+            if source in sources and target in targets
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Strongly connected components (Tarjan)
+    # ------------------------------------------------------------------ #
+    def strongly_connected_components(self) -> list[list[str]]:
+        """SCCs in reverse topological order of the condensation (Tarjan's order)."""
+        index_counter = 0
+        indices: dict[str, int] = {}
+        low_links: dict[str, int] = {}
+        on_stack: dict[str, bool] = {}
+        stack: list[str] = []
+        components: list[list[str]] = []
+
+        adjacency: dict[str, list[str]] = {node: [] for node in self.nodes}
+        for source, target, _ in self.edges:
+            if source != target:
+                adjacency[source].append(target)
+
+        def strong_connect(node: str) -> None:
+            nonlocal index_counter
+            # Iterative Tarjan to avoid deep recursion on long statement chains.
+            work: list[tuple[str, int]] = [(node, 0)]
+            while work:
+                current, child_index = work.pop()
+                if child_index == 0:
+                    indices[current] = index_counter
+                    low_links[current] = index_counter
+                    index_counter += 1
+                    stack.append(current)
+                    on_stack[current] = True
+                recurse = False
+                neighbours = adjacency[current]
+                for position in range(child_index, len(neighbours)):
+                    neighbour = neighbours[position]
+                    if neighbour not in indices:
+                        work.append((current, position + 1))
+                        work.append((neighbour, 0))
+                        recurse = True
+                        break
+                    if on_stack.get(neighbour, False):
+                        low_links[current] = min(low_links[current], indices[neighbour])
+                if recurse:
+                    continue
+                if low_links[current] == indices[current]:
+                    component: list[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == current:
+                            break
+                    components.append(sorted(component, key=self.nodes.index))
+                if work:
+                    parent = work[-1][0]
+                    low_links[parent] = min(low_links[parent], low_links[current])
+
+        for node in self.nodes:
+            if node not in indices:
+                strong_connect(node)
+        return components
+
+    def condensation_order(self) -> list[list[str]]:
+        """SCCs ordered topologically (sources first), ties broken by textual order."""
+        components = self.strongly_connected_components()
+        component_of: dict[str, int] = {}
+        for component_index, component in enumerate(components):
+            for node in component:
+                component_of[node] = component_index
+
+        n = len(components)
+        successors: dict[int, set[int]] = {i: set() for i in range(n)}
+        in_degree: dict[int, int] = {i: 0 for i in range(n)}
+        for source, target, _ in self.edges:
+            a, b = component_of[source], component_of[target]
+            if a != b and b not in successors[a]:
+                successors[a].add(b)
+                in_degree[b] += 1
+
+        def textual_key(component_index: int) -> int:
+            return min(self.nodes.index(node) for node in components[component_index])
+
+        ready = sorted(
+            [i for i in range(n) if in_degree[i] == 0], key=textual_key
+        )
+        ordered: list[list[str]] = []
+        while ready:
+            current = ready.pop(0)
+            ordered.append(components[current])
+            released = []
+            for successor in successors[current]:
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    released.append(successor)
+            ready = sorted(ready + released, key=textual_key)
+        if len(ordered) != n:  # pragma: no cover - SCC condensation is acyclic
+            raise RuntimeError("cycle detected in the SCC condensation")
+        return ordered
+
+    def group_order_is_legal(self, groups: Sequence[Sequence[str]]) -> bool:
+        """Check that executing *groups* in the given order respects every edge.
+
+        Statements inside a group are considered fused (no ordering imposed by
+        this level), so only edges between different groups matter: an edge
+        from a later group to an earlier one makes the order illegal.
+        """
+        position: dict[str, int] = {}
+        for group_index, group in enumerate(groups):
+            for node in group:
+                position[node] = group_index
+        for source, target, _ in self.edges:
+            if source in position and target in position:
+                if position[source] > position[target]:
+                    return False
+        return True

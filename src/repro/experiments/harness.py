@@ -1,0 +1,170 @@
+"""Shared experiment harness.
+
+One evaluation = schedule the kernel with a configuration, post-process
+(parallelism detection, optional wavefront skewing, optional tiling), generate
+code, execute it on the machine model's cache simulator and return the
+estimated cycles.  The harness memoises evaluations per (kernel, configuration,
+machine) so that benchmark reruns and the "best-of" selections stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..deps.analysis import compute_dependences
+from ..machine.cost_model import CostModel, PerformanceReport
+from ..machine.machine import MachineModel
+from ..model.scop import Scop
+from ..scheduler.baselines import Baseline
+from ..scheduler.config import SchedulerConfig
+from ..scheduler.core import PolyTOPSScheduler, SchedulingResult
+from ..scheduler.errors import SchedulingError
+from ..transform.parallelism import detect_parallel_dimensions
+from ..transform.tiling import compute_tiling
+from ..transform.wavefront import apply_wavefront
+
+__all__ = ["Evaluation", "ExperimentHarness", "geometric_mean"]
+
+
+@dataclass
+class Evaluation:
+    """The outcome of scheduling + simulating one kernel with one configuration."""
+
+    kernel: str
+    configuration: str
+    machine: str
+    cycles: float
+    report: PerformanceReport
+    scheduling: SchedulingResult
+    failed: bool = False
+
+    def speedup_over(self, other: "Evaluation") -> float:
+        if self.cycles <= 0:
+            return float("inf")
+        return other.cycles / self.cycles
+
+
+@dataclass
+class ExperimentHarness:
+    """Schedules and simulates kernels on one machine model."""
+
+    machine: MachineModel
+    apply_wavefront_skewing: bool = True
+    use_tiling: bool = False
+    tile_sizes: Sequence[int] = (8, 8, 8)
+    _dependence_cache: dict[str, list] = field(default_factory=dict)
+    _evaluation_cache: dict[tuple[str, str], Evaluation] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Single evaluations
+    # ------------------------------------------------------------------ #
+    def dependences_for(self, scop: Scop):
+        key = scop.name + ":" + ",".join(f"{k}={v}" for k, v in sorted(scop.parameter_values.items()))
+        if key not in self._dependence_cache:
+            self._dependence_cache[key] = compute_dependences(scop)
+        return self._dependence_cache[key]
+
+    def evaluate(
+        self,
+        scop: Scop,
+        config: SchedulerConfig,
+        parameter_values: Mapping[str, int] | None = None,
+        label: str | None = None,
+    ) -> Evaluation:
+        """Schedule *scop* with *config* and estimate its cycles on the machine."""
+        label = label or config.name
+        cache_key = (self._scop_key(scop, parameter_values), label)
+        if cache_key in self._evaluation_cache:
+            return self._evaluation_cache[cache_key]
+
+        dependences = self.dependences_for(scop)
+        try:
+            scheduler = PolyTOPSScheduler(scop, config, dependences=dependences)
+            result = scheduler.schedule()
+        except SchedulingError:
+            result = SchedulingResult(
+                scop.original_schedule(), list(dependences), {}, True, {}
+            )
+        schedule = result.schedule
+        if not schedule.parallel_dims or len(schedule.parallel_dims) < schedule.n_dims:
+            schedule.parallel_dims = detect_parallel_dimensions(schedule, result.dependences)
+        if self.apply_wavefront_skewing:
+            schedule, _changed = apply_wavefront(schedule, result.dependences)
+        tiling = None
+        if self.use_tiling or config.tile_sizes:
+            sizes = config.tile_sizes or tuple(self.tile_sizes)
+            tiling = compute_tiling(schedule, result.dependences, sizes)
+        report = CostModel(self.machine).evaluate(
+            scop, schedule, tiling, parameter_values
+        )
+        evaluation = Evaluation(
+            kernel=scop.name,
+            configuration=label,
+            machine=self.machine.name,
+            cycles=report.cycles,
+            report=report,
+            scheduling=result,
+            failed=result.fallback_to_original,
+        )
+        self._evaluation_cache[cache_key] = evaluation
+        return evaluation
+
+    def evaluate_best(
+        self,
+        scop: Scop,
+        configs: Iterable[SchedulerConfig],
+        parameter_values: Mapping[str, int] | None = None,
+        label: str = "best",
+    ) -> Evaluation:
+        """Evaluate several configurations and keep the fastest (paper's 'best of')."""
+        best: Evaluation | None = None
+        for config in configs:
+            evaluation = self.evaluate(scop, config, parameter_values)
+            if best is None or evaluation.cycles < best.cycles:
+                best = evaluation
+        if best is None:
+            raise ValueError("evaluate_best needs at least one configuration")
+        renamed = Evaluation(
+            kernel=best.kernel,
+            configuration=label,
+            machine=best.machine,
+            cycles=best.cycles,
+            report=best.report,
+            scheduling=best.scheduling,
+            failed=best.failed,
+        )
+        self._evaluation_cache[(self._scop_key(scop, parameter_values), label)] = renamed
+        return renamed
+
+    def evaluate_baseline(
+        self,
+        scop: Scop,
+        baseline: Baseline,
+        parameter_values: Mapping[str, int] | None = None,
+    ) -> Evaluation:
+        """Evaluate a baseline scheduler (best over its candidate configurations)."""
+        return self.evaluate_best(
+            scop, baseline.configs(), parameter_values, label=baseline.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scop_key(scop: Scop, parameter_values: Mapping[str, int] | None) -> str:
+        values = dict(scop.parameter_values)
+        if parameter_values:
+            values.update(parameter_values)
+        return scop.name + ":" + ",".join(f"{k}={v}" for k, v in sorted(values.items()))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    cleaned = [value for value in values if value > 0]
+    if not cleaned:
+        return 0.0
+    product = 1.0
+    for value in cleaned:
+        product *= value
+    return product ** (1.0 / len(cleaned))

@@ -1,0 +1,49 @@
+"""Exact integer linear programming substrate.
+
+This subpackage replaces the ILP back-ends (PIP, GLPK, isl's solver) used by
+the schedulers the paper builds on.  It offers a declarative problem type, an
+exact rational simplex, branch & bound and a lexicographic multi-objective
+driver.
+"""
+
+from .backend import (
+    ExactSimplexBackend,
+    LpBackend,
+    ScipyHighsBackend,
+    default_backend,
+    set_default_backend,
+)
+from .branch_bound import MilpResult, MilpStatus, solve_milp
+from .problem import (
+    ConstraintSense,
+    LinearConstraint,
+    LinearProblem,
+    Variable,
+    merge_linear_terms,
+    scale_linear_terms,
+)
+from .simplex import LpResult, LpStatus, StandardFormRow, solve_standard_form
+from .solver import IlpSolution, IlpSolver
+
+__all__ = [
+    "ExactSimplexBackend",
+    "LpBackend",
+    "ScipyHighsBackend",
+    "default_backend",
+    "set_default_backend",
+    "ConstraintSense",
+    "LinearConstraint",
+    "LinearProblem",
+    "Variable",
+    "merge_linear_terms",
+    "scale_linear_terms",
+    "LpResult",
+    "LpStatus",
+    "StandardFormRow",
+    "solve_standard_form",
+    "MilpResult",
+    "MilpStatus",
+    "solve_milp",
+    "IlpSolution",
+    "IlpSolver",
+]

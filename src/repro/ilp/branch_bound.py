@@ -1,0 +1,196 @@
+"""Branch & bound on top of the exact simplex.
+
+The scheduler's ILPs have small, bounded coefficient variables, and their LP
+relaxations are almost always integral at the optimum (a well known property of
+the Pluto-style formulations).  Branch & bound is therefore a thin layer: solve
+the relaxation, branch on the first fractional integer variable, prune with the
+incumbent objective value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from ..linalg.rational import as_fraction
+from .backend import LpBackend, default_backend
+from .problem import ConstraintSense, LinearProblem
+from .simplex import LpStatus, StandardFormRow, solve_standard_form
+
+__all__ = ["MilpStatus", "MilpResult", "solve_milp"]
+
+MilpStatus = LpStatus
+
+
+@dataclass(frozen=True)
+class MilpResult:
+    """Result of a mixed-integer solve: status, assignment and objective value."""
+
+    status: MilpStatus
+    assignment: dict[str, Fraction]
+    objective: Fraction | None
+
+
+class _StandardFormEncoder:
+    """Translate a :class:`LinearProblem` into the simplex standard form.
+
+    Every named variable is shifted/split so that the standard-form variables
+    are all non-negative:
+
+    * lower-bounded variables ``v >= L`` become ``v = L + v_plus``;
+    * free variables become ``v = v_plus - v_minus``;
+    * upper bounds are emitted as explicit rows.
+    """
+
+    def __init__(self, problem: LinearProblem):
+        self.problem = problem
+        self.column_of: dict[str, int] = {}
+        self.negative_column_of: dict[str, int] = {}
+        self.shift_of: dict[str, Fraction] = {}
+        n_columns = 0
+        for name, variable in problem.variables.items():
+            self.column_of[name] = n_columns
+            n_columns += 1
+            if variable.lower is None:
+                self.negative_column_of[name] = n_columns
+                n_columns += 1
+                self.shift_of[name] = Fraction(0)
+            else:
+                self.shift_of[name] = variable.lower
+        self.n_columns = n_columns
+
+    def encode_terms(self, coefficients: Mapping[str, Fraction]) -> tuple[list[Fraction], Fraction]:
+        """Return (column coefficients, constant offset) for a linear expression."""
+        row = [Fraction(0)] * self.n_columns
+        offset = Fraction(0)
+        for name, coeff in coefficients.items():
+            coeff = as_fraction(coeff)
+            row[self.column_of[name]] += coeff
+            negative = self.negative_column_of.get(name)
+            if negative is not None:
+                row[negative] -= coeff
+            offset += coeff * self.shift_of[name]
+        return row, offset
+
+    def rows(self, extra: list[tuple[dict[str, Fraction], ConstraintSense, Fraction]]) -> list[StandardFormRow]:
+        """All constraint rows: problem constraints, upper bounds and *extra* branching cuts."""
+        rows: list[StandardFormRow] = []
+        for constraint in self.problem.constraints:
+            coeffs, offset = self.encode_terms(constraint.coefficients)
+            rows.append(StandardFormRow.build(coeffs, constraint.sense, constraint.rhs - offset))
+        for name, variable in self.problem.variables.items():
+            if variable.upper is not None:
+                coeffs, offset = self.encode_terms({name: Fraction(1)})
+                rows.append(
+                    StandardFormRow.build(coeffs, ConstraintSense.LE, variable.upper - offset)
+                )
+        for coefficients, sense, rhs in extra:
+            coeffs, offset = self.encode_terms(coefficients)
+            rows.append(StandardFormRow.build(coeffs, sense, rhs - offset))
+        return rows
+
+    def decode(self, values: list[Fraction]) -> dict[str, Fraction]:
+        """Map standard-form values back to named-variable values."""
+        assignment: dict[str, Fraction] = {}
+        for name in self.problem.variables:
+            value = values[self.column_of[name]] if self.column_of[name] < len(values) else Fraction(0)
+            negative = self.negative_column_of.get(name)
+            if negative is not None and negative < len(values):
+                value -= values[negative]
+            assignment[name] = value + self.shift_of[name]
+        return assignment
+
+
+def solve_milp(
+    problem: LinearProblem,
+    objective: Mapping[str, Fraction] | None = None,
+    node_limit: int = 20000,
+    backend: LpBackend | None = None,
+) -> MilpResult:
+    """Minimise *objective* over *problem* with the declared integrality constraints.
+
+    ``objective=None`` (or an empty mapping) performs a pure feasibility search.
+    ``backend`` selects the LP relaxation solver (default: HiGHS when scipy is
+    available, otherwise the exact simplex).  Every accepted integer solution
+    is verified exactly against the problem, so an inexact backend can only
+    cause extra work (fallback to the exact simplex), never a wrong accept.
+    """
+    objective = {k: as_fraction(v) for k, v in (objective or {}).items() if as_fraction(v) != 0}
+    backend = backend or default_backend()
+    encoder = _StandardFormEncoder(problem)
+    objective_row, objective_offset = encoder.encode_terms(objective)
+
+    best_assignment: dict[str, Fraction] | None = None
+    best_value: Fraction | None = None
+    feasibility_only = not objective
+    prune_margin = Fraction(1, 10**6)
+
+    stack: list[list[tuple[dict[str, Fraction], ConstraintSense, Fraction]]] = [[]]
+    nodes = 0
+    while stack:
+        cuts = stack.pop()
+        nodes += 1
+        if nodes > node_limit:
+            raise RuntimeError("branch & bound node limit exceeded")
+        rows = encoder.rows(cuts)
+        result = backend.solve(encoder.n_columns, rows, objective_row)
+        if result.status is LpStatus.INFEASIBLE:
+            continue
+        if result.status is LpStatus.UNBOUNDED:
+            if feasibility_only:
+                # Any vertex of the feasible region will do; re-solve with a zero objective.
+                result = backend.solve(encoder.n_columns, rows, [])
+                if result.status is not LpStatus.OPTIMAL:
+                    continue
+            else:
+                return MilpResult(LpStatus.UNBOUNDED, {}, None)
+        relaxation_value = (result.objective or Fraction(0)) + objective_offset
+        if best_value is not None and relaxation_value >= best_value - prune_margin:
+            continue
+        assignment = encoder.decode(result.values)
+        fractional = _first_fractional(problem, assignment)
+        if fractional is None:
+            if not problem.is_feasible_assignment(assignment):
+                # The accelerated backend returned a numerically plausible but
+                # exactly-infeasible point: redo this node with the exact simplex.
+                result = solve_standard_form(encoder.n_columns, rows, objective_row)
+                if result.status is not LpStatus.OPTIMAL:
+                    continue
+                assignment = encoder.decode(result.values)
+                fractional = _first_fractional(problem, assignment)
+            if fractional is None:
+                exact_value = _evaluate(objective, assignment)
+                if best_value is None or exact_value < best_value:
+                    best_value = exact_value
+                    best_assignment = assignment
+                    if feasibility_only:
+                        break
+                continue
+        name, value = fractional
+        floor_value = Fraction(value.numerator // value.denominator)
+        stack.append(cuts + [({name: Fraction(1)}, ConstraintSense.GE, floor_value + 1)])
+        stack.append(cuts + [({name: Fraction(1)}, ConstraintSense.LE, floor_value)])
+
+    if best_assignment is None:
+        return MilpResult(LpStatus.INFEASIBLE, {}, None)
+    return MilpResult(LpStatus.OPTIMAL, best_assignment, best_value)
+
+
+def _first_fractional(
+    problem: LinearProblem, assignment: Mapping[str, Fraction]
+) -> tuple[str, Fraction] | None:
+    for name, variable in problem.variables.items():
+        if not variable.is_integer:
+            continue
+        value = assignment.get(name, Fraction(0))
+        if value.denominator != 1:
+            return name, value
+    return None
+
+
+def _evaluate(objective: Mapping[str, Fraction], assignment: Mapping[str, Fraction]) -> Fraction:
+    return sum(
+        (coeff * assignment.get(name, Fraction(0)) for name, coeff in objective.items()),
+        Fraction(0),
+    )

@@ -1,0 +1,209 @@
+"""Declarative description of (integer) linear problems.
+
+The scheduler builds one :class:`LinearProblem` per scheduling dimension.  A
+problem is a set of named variables (with optional bounds and integrality), a
+set of affine constraints and an ordered list of objectives that are minimised
+lexicographically.  Linear expressions are plain ``{variable_name: coefficient}``
+dictionaries plus an optional constant, which keeps the builder code in the
+scheduler readable and order-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..linalg.rational import Rational, as_fraction
+
+__all__ = ["ConstraintSense", "LinearConstraint", "Variable", "LinearProblem", "LinearExprDict"]
+
+LinearExprDict = Mapping[str, Rational]
+
+
+class ConstraintSense(Enum):
+    """Relational operator of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A constraint ``sum(coeffs[v] * v) sense rhs``."""
+
+    coefficients: dict[str, Fraction]
+    sense: ConstraintSense
+    rhs: Fraction
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        cleaned = {
+            name: as_fraction(value)
+            for name, value in self.coefficients.items()
+            if as_fraction(value) != 0
+        }
+        object.__setattr__(self, "coefficients", cleaned)
+        object.__setattr__(self, "rhs", as_fraction(self.rhs))
+
+    def variables(self) -> set[str]:
+        """Names of the variables referenced by the constraint."""
+        return set(self.coefficients)
+
+    def evaluate(self, assignment: Mapping[str, Rational]) -> bool:
+        """True when *assignment* satisfies the constraint."""
+        value = sum(
+            (as_fraction(coeff) * as_fraction(assignment.get(name, 0))
+             for name, coeff in self.coefficients.items()),
+            Fraction(0),
+        )
+        if self.sense is ConstraintSense.LE:
+            return value <= self.rhs
+        if self.sense is ConstraintSense.GE:
+            return value >= self.rhs
+        return value == self.rhs
+
+    def __str__(self) -> str:
+        terms = " + ".join(f"{coeff}*{name}" for name, coeff in sorted(self.coefficients.items()))
+        terms = terms or "0"
+        return f"{terms} {self.sense.value} {self.rhs}"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A problem variable with bounds and integrality information."""
+
+    name: str
+    lower: Fraction | None = Fraction(0)
+    upper: Fraction | None = None
+    is_integer: bool = True
+
+    def __post_init__(self) -> None:
+        lower = None if self.lower is None else as_fraction(self.lower)
+        upper = None if self.upper is None else as_fraction(self.upper)
+        if lower is not None and upper is not None and lower > upper:
+            raise ValueError(f"variable {self.name}: lower bound exceeds upper bound")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+
+@dataclass
+class LinearProblem:
+    """A (mixed) integer linear problem with lexicographic objectives."""
+
+    variables: dict[str, Variable] = field(default_factory=dict)
+    constraints: list[LinearConstraint] = field(default_factory=list)
+    objectives: list[dict[str, Fraction]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_variable(
+        self,
+        name: str,
+        lower: Rational | None = 0,
+        upper: Rational | None = None,
+        is_integer: bool = True,
+    ) -> Variable:
+        """Declare a variable; re-declaring an existing name must be consistent."""
+        variable = Variable(
+            name,
+            None if lower is None else as_fraction(lower),
+            None if upper is None else as_fraction(upper),
+            is_integer,
+        )
+        existing = self.variables.get(name)
+        if existing is not None:
+            if existing != variable:
+                raise ValueError(f"variable {name!r} re-declared with different attributes")
+            return existing
+        self.variables[name] = variable
+        return variable
+
+    def add_constraint(
+        self,
+        coefficients: LinearExprDict,
+        sense: ConstraintSense | str,
+        rhs: Rational,
+        label: str = "",
+    ) -> LinearConstraint:
+        """Add ``coefficients . x  sense  rhs``; unknown variables are rejected."""
+        sense = ConstraintSense(sense) if isinstance(sense, str) else sense
+        constraint = LinearConstraint(
+            {name: as_fraction(value) for name, value in coefficients.items()},
+            sense,
+            as_fraction(rhs),
+            label,
+        )
+        unknown = constraint.variables() - set(self.variables)
+        if unknown:
+            raise KeyError(f"constraint references undeclared variables: {sorted(unknown)}")
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_objective(self, coefficients: LinearExprDict) -> None:
+        """Append one lexicographic minimisation objective."""
+        objective = {
+            name: as_fraction(value)
+            for name, value in coefficients.items()
+            if as_fraction(value) != 0
+        }
+        unknown = set(objective) - set(self.variables)
+        if unknown:
+            raise KeyError(f"objective references undeclared variables: {sorted(unknown)}")
+        self.objectives.append(objective)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def variable_names(self) -> list[str]:
+        """Declaration-ordered variable names."""
+        return list(self.variables)
+
+    def is_feasible_assignment(self, assignment: Mapping[str, Rational]) -> bool:
+        """Check bounds, integrality and all constraints for *assignment*."""
+        for name, variable in self.variables.items():
+            value = as_fraction(assignment.get(name, 0))
+            if variable.lower is not None and value < variable.lower:
+                return False
+            if variable.upper is not None and value > variable.upper:
+                return False
+            if variable.is_integer and value.denominator != 1:
+                return False
+        return all(constraint.evaluate(assignment) for constraint in self.constraints)
+
+    def copy(self) -> "LinearProblem":
+        """A shallow-but-independent copy (constraints/objectives lists are new)."""
+        clone = LinearProblem()
+        clone.variables = dict(self.variables)
+        clone.constraints = list(self.constraints)
+        clone.objectives = [dict(obj) for obj in self.objectives]
+        return clone
+
+    def __str__(self) -> str:
+        lines = ["LinearProblem:"]
+        lines.append(f"  variables: {', '.join(self.variables)}")
+        for constraint in self.constraints:
+            suffix = f"   [{constraint.label}]" if constraint.label else ""
+            lines.append(f"  {constraint}{suffix}")
+        for index, objective in enumerate(self.objectives):
+            terms = " + ".join(f"{c}*{n}" for n, c in objective.items()) or "0"
+            lines.append(f"  minimize[{index}]: {terms}")
+        return "\n".join(lines)
+
+
+def merge_linear_terms(*terms: LinearExprDict) -> dict[str, Fraction]:
+    """Sum several ``{var: coeff}`` dictionaries into one (zero entries removed)."""
+    result: dict[str, Fraction] = {}
+    for term in terms:
+        for name, value in term.items():
+            result[name] = result.get(name, Fraction(0)) + as_fraction(value)
+    return {name: value for name, value in result.items() if value != 0}
+
+
+def scale_linear_terms(terms: LinearExprDict, factor: Rational) -> dict[str, Fraction]:
+    """Multiply every coefficient of *terms* by *factor*."""
+    f = as_fraction(factor)
+    return {name: as_fraction(value) * f for name, value in terms.items() if as_fraction(value) * f != 0}

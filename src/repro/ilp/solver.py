@@ -1,0 +1,83 @@
+"""Lexicographic ILP driver.
+
+The scheduler's per-dimension problems carry an ordered list of objectives
+(cost functions followed by tie-breakers).  They are minimised one after the
+other: each stage's optimum is frozen as an equality constraint before the next
+stage is solved, exactly like the lexicographic minimisation performed by the
+ILP back-ends of Pluto and isl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .branch_bound import MilpResult, solve_milp
+from .problem import ConstraintSense, LinearProblem
+from .simplex import LpStatus
+
+__all__ = ["IlpSolution", "IlpSolver"]
+
+
+@dataclass(frozen=True)
+class IlpSolution:
+    """A feasible integer assignment plus the per-objective optimal values."""
+
+    assignment: dict[str, Fraction]
+    objective_values: list[Fraction]
+
+    def value(self, name: str) -> int:
+        """Integer value of variable *name* (0 when absent)."""
+        fraction = self.assignment.get(name, Fraction(0))
+        if fraction.denominator != 1:
+            raise ValueError(f"variable {name} has a non-integral value {fraction}")
+        return int(fraction)
+
+    def as_int_dict(self) -> dict[str, int]:
+        """The assignment with every value converted to ``int``."""
+        return {name: self.value(name) for name in self.assignment}
+
+
+class IlpSolver:
+    """Solve :class:`LinearProblem` instances with lexicographic objectives."""
+
+    def __init__(self, node_limit: int = 20000, backend=None):
+        self.node_limit = node_limit
+        self.backend = backend
+        self.solve_count = 0
+
+    def solve(self, problem: LinearProblem) -> IlpSolution | None:
+        """Return the lexicographically optimal solution, or ``None`` when infeasible."""
+        working = problem.copy()
+        objective_values: list[Fraction] = []
+        last_result: MilpResult | None = None
+
+        if not working.objectives:
+            result = solve_milp(working, None, self.node_limit, self.backend)
+            self.solve_count += 1
+            if result.status is not LpStatus.OPTIMAL:
+                return None
+            return IlpSolution(result.assignment, [])
+
+        for objective in working.objectives:
+            result = solve_milp(working, objective, self.node_limit, self.backend)
+            self.solve_count += 1
+            if result.status is LpStatus.INFEASIBLE:
+                return None
+            if result.status is LpStatus.UNBOUNDED:
+                raise ValueError(
+                    "objective is unbounded below; scheduling variables must be bounded"
+                )
+            assert result.objective is not None
+            objective_values.append(result.objective)
+            working.add_constraint(objective, ConstraintSense.EQ, result.objective)
+            last_result = result
+
+        assert last_result is not None
+        return IlpSolution(last_result.assignment, objective_values)
+
+    def is_feasible(self, problem: LinearProblem) -> bool:
+        """True when the problem admits at least one integer point."""
+        stripped = problem.copy()
+        stripped.objectives = []
+        return self.solve(stripped) is not None

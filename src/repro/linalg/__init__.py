@@ -1,0 +1,44 @@
+"""Exact rational linear algebra substrate.
+
+This subpackage provides the dense rational matrix type and the handful of
+lattice / complement computations that the polyhedral layers are built on.
+"""
+
+from .hermite import determinant, hermite_normal_form, is_unimodular, unimodular_completion
+from .matrix import RationalMatrix
+from .orthogonal import (
+    is_linearly_independent,
+    orthogonal_complement,
+    orthogonal_complement_rows,
+)
+from .rational import (
+    Rational,
+    as_fraction,
+    common_denominator,
+    gcd_many,
+    is_integral,
+    lcm,
+    lcm_many,
+    normalize_integer_row,
+    scale_to_integers,
+)
+
+__all__ = [
+    "RationalMatrix",
+    "Rational",
+    "as_fraction",
+    "common_denominator",
+    "gcd_many",
+    "is_integral",
+    "lcm",
+    "lcm_many",
+    "normalize_integer_row",
+    "scale_to_integers",
+    "determinant",
+    "hermite_normal_form",
+    "is_unimodular",
+    "unimodular_completion",
+    "orthogonal_complement",
+    "orthogonal_complement_rows",
+    "is_linearly_independent",
+]

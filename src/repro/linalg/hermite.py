@@ -1,0 +1,135 @@
+"""Integer lattice utilities: Hermite normal form and unimodular completion.
+
+These are used by the code generator and the tiling post-processing to reason
+about integer schedule matrices (e.g. to check that a schedule band is
+unimodular in its iterator part, so scanning the image of the domain does not
+require stride guards).
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Sequence
+
+__all__ = ["hermite_normal_form", "is_unimodular", "determinant", "unimodular_completion"]
+
+
+def determinant(matrix: Sequence[Sequence[int]]) -> int:
+    """Exact integer determinant via fraction-free Gaussian (Bareiss) elimination."""
+    n = len(matrix)
+    if n == 0:
+        return 1
+    if any(len(row) != n for row in matrix):
+        raise ValueError("determinant requires a square matrix")
+    m = [list(row) for row in matrix]
+    sign = 1
+    prev = 1
+    for k in range(n - 1):
+        if m[k][k] == 0:
+            pivot_row = next((r for r in range(k + 1, n) if m[r][k] != 0), None)
+            if pivot_row is None:
+                return 0
+            m[k], m[pivot_row] = m[pivot_row], m[k]
+            sign = -sign
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                m[i][j] = (m[i][j] * m[k][k] - m[i][k] * m[k][j]) // prev
+            m[i][k] = 0
+        prev = m[k][k]
+    return sign * m[n - 1][n - 1]
+
+
+def hermite_normal_form(matrix: Sequence[Sequence[int]]) -> tuple[list[list[int]], list[list[int]]]:
+    """Column-style Hermite normal form.
+
+    Returns ``(H, U)`` with ``H = A @ U`` where ``U`` is unimodular and ``H`` is
+    lower triangular with non-negative entries below positive pivots.  The
+    implementation uses integer column operations only.
+    """
+    if not matrix:
+        return [], []
+    n_rows = len(matrix)
+    n_cols = len(matrix[0])
+    h = [list(row) for row in matrix]
+    u = [[1 if i == j else 0 for j in range(n_cols)] for i in range(n_cols)]
+
+    def swap_cols(a: int, b: int) -> None:
+        for row in h:
+            row[a], row[b] = row[b], row[a]
+        for row in u:
+            row[a], row[b] = row[b], row[a]
+
+    def add_col(target: int, source: int, factor: int) -> None:
+        for row in h:
+            row[target] += factor * row[source]
+        for row in u:
+            row[target] += factor * row[source]
+
+    def negate_col(col: int) -> None:
+        for row in h:
+            row[col] = -row[col]
+        for row in u:
+            row[col] = -row[col]
+
+    pivot_col = 0
+    for row_index in range(n_rows):
+        if pivot_col >= n_cols:
+            break
+        # Reduce the row to a single non-zero entry at pivot_col using gcd steps.
+        while True:
+            nonzero = [c for c in range(pivot_col, n_cols) if h[row_index][c] != 0]
+            if not nonzero:
+                break
+            smallest = min(nonzero, key=lambda c: abs(h[row_index][c]))
+            if smallest != pivot_col:
+                swap_cols(smallest, pivot_col)
+            if h[row_index][pivot_col] < 0:
+                negate_col(pivot_col)
+            done = True
+            for c in range(pivot_col + 1, n_cols):
+                if h[row_index][c] != 0:
+                    factor = h[row_index][c] // h[row_index][pivot_col]
+                    add_col(c, pivot_col, -factor)
+                    if h[row_index][c] != 0:
+                        done = False
+            if done:
+                break
+        if h[row_index][pivot_col] != 0:
+            # Reduce the entries to the left of the pivot in this row.
+            for c in range(pivot_col):
+                if h[row_index][c] != 0:
+                    factor = h[row_index][c] // h[row_index][pivot_col]
+                    add_col(c, pivot_col, -factor)
+            pivot_col += 1
+    return h, u
+
+
+def is_unimodular(matrix: Sequence[Sequence[int]]) -> bool:
+    """True when the square integer matrix has determinant +1 or -1."""
+    try:
+        return abs(determinant(matrix)) == 1
+    except ValueError:
+        return False
+
+
+def unimodular_completion(rows: Sequence[Sequence[int]], width: int) -> list[list[int]]:
+    """Complete linearly independent integer *rows* to a square unimodular matrix.
+
+    The completion is greedy: unit vectors are appended whenever they keep the
+    matrix full-rank.  Raises ``ValueError`` when no completion is found, which
+    for the schedule matrices produced by the scheduler (small entries, often
+    permutation-like) does not happen in practice.
+    """
+    from .matrix import RationalMatrix
+
+    completed = [list(row) for row in rows]
+    for axis in range(width):
+        if len(completed) == width:
+            break
+        unit = [1 if i == axis else 0 for i in range(width)]
+        candidate = completed + [unit]
+        if RationalMatrix(candidate).rank() == len(candidate):
+            completed.append(unit)
+    if len(completed) != width:
+        raise ValueError("could not complete rows to a full-rank matrix")
+    return completed

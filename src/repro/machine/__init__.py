@@ -1,0 +1,34 @@
+"""Machine models, cache simulation and the analytical cost model.
+
+This subpackage substitutes for the paper's physical evaluation platforms
+(AMD EPYC 7452, two Xeon servers and an Ascend 910 NPU).
+"""
+
+from .cache import AccessOutcome, CacheHierarchy, CacheLevel, CacheLevelSpec
+from .cost_model import CostModel, PerformanceReport, estimate_cycles
+from .machine import (
+    MachineModel,
+    amd_epyc_7452,
+    ascend_910,
+    intel_xeon_e5_2683,
+    intel_xeon_silver_4215,
+    machine_by_name,
+)
+from .trace import MemoryTraceCollector
+
+__all__ = [
+    "AccessOutcome",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheLevelSpec",
+    "CostModel",
+    "PerformanceReport",
+    "estimate_cycles",
+    "MachineModel",
+    "amd_epyc_7452",
+    "ascend_910",
+    "intel_xeon_e5_2683",
+    "intel_xeon_silver_4215",
+    "machine_by_name",
+    "MemoryTraceCollector",
+]

@@ -1,0 +1,104 @@
+"""Memory-trace collection.
+
+The trace collector is an ``on_instance`` hook for the executor: for every
+executed statement instance it computes the byte address of each array access
+(arrays are laid out contiguously, row-major, 8 bytes per element) and feeds it
+to a cache hierarchy, accumulating per-level hit/miss counts and per-statement
+access counts used by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..model.scop import Scop
+from ..model.statement import Statement
+from .cache import CacheHierarchy
+
+__all__ = ["MemoryTraceCollector"]
+
+_ELEMENT_BYTES = 8
+
+
+@dataclass
+class _ArrayLayout:
+    base: int
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+
+
+class MemoryTraceCollector:
+    """Feeds the memory accesses of executed statement instances into a cache model."""
+
+    def __init__(
+        self,
+        scop: Scop,
+        hierarchy: CacheHierarchy,
+        parameter_values: Mapping[str, int] | None = None,
+    ):
+        self.scop = scop
+        self.hierarchy = hierarchy
+        self.parameter_values = scop.resolved_parameters(parameter_values)
+        self.layouts = self._layout_arrays()
+        self.accesses = 0
+        self.vector_accesses = 0
+        self.statement_accesses: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    def _layout_arrays(self) -> dict[str, _ArrayLayout]:
+        layouts: dict[str, _ArrayLayout] = {}
+        cursor = 0
+        for name, shape_exprs in self.scop.arrays.items():
+            shape = tuple(
+                max(1, int(expr.evaluate(self.parameter_values))) for expr in shape_exprs
+            ) or (1,)
+            strides = []
+            running = 1
+            for extent in reversed(shape):
+                strides.append(running)
+                running *= extent
+            layouts[name] = _ArrayLayout(cursor, shape, tuple(reversed(strides)))
+            cursor += running * _ELEMENT_BYTES + 256  # pad between arrays
+        return layouts
+
+    # ------------------------------------------------------------------ #
+    # Hook
+    # ------------------------------------------------------------------ #
+    def __call__(self, statement: Statement, values: Mapping[str, int]) -> None:
+        """Record the accesses of one statement instance."""
+        for access in statement.accesses:
+            layout = self.layouts.get(access.array)
+            if layout is None:
+                continue
+            indices = access.evaluate(values)
+            offset = 0
+            for index, stride in zip(indices, layout.strides):
+                offset += int(index) * stride
+            address = layout.base + offset * _ELEMENT_BYTES
+            self.hierarchy.access(address)
+            self.accesses += 1
+            self.statement_accesses[statement.name] = (
+                self.statement_accesses.get(statement.name, 0) + 1
+            )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def memory_cycles(self) -> int:
+        """Total access latency accumulated in the hierarchy."""
+        return self.hierarchy.total_latency()
+
+    def miss_ratio(self, level: int = 0) -> float:
+        if not self.hierarchy.levels:
+            return 0.0
+        return self.hierarchy.levels[min(level, len(self.hierarchy.levels) - 1)].miss_ratio
+
+    def statistics(self) -> dict[str, object]:
+        return {
+            "accesses": self.accesses,
+            "levels": self.hierarchy.statistics(),
+            "per_statement": dict(self.statement_accesses),
+        }

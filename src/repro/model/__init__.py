@@ -1,0 +1,18 @@
+"""The SCoP intermediate representation: accesses, statements, schedules and a builder DSL."""
+
+from .access import AccessKind, ArrayAccess
+from .builder import ScopBuilder
+from .schedule import Schedule, StatementSchedule
+from .scop import Scop
+from .statement import Statement, StatementBody
+
+__all__ = [
+    "AccessKind",
+    "ArrayAccess",
+    "ScopBuilder",
+    "Schedule",
+    "StatementSchedule",
+    "Scop",
+    "Statement",
+    "StatementBody",
+]

@@ -1,0 +1,37 @@
+"""Polyhedral sets, affine expressions and the Farkas lemma.
+
+This subpackage replaces the subset of isl functionality that an affine
+scheduler needs: parametric integer polyhedra, projection, exact integer
+emptiness/sampling and the affine form of the Farkas lemma.
+"""
+
+from .affine import AffineExpr
+from .constraint import AffineConstraint, ConstraintKind
+from .emptiness import (
+    count_integer_points,
+    enumerate_integer_points,
+    find_integer_point,
+    is_integer_empty,
+)
+from .farkas import FarkasResult, farkas_nonnegative
+from .fourier_motzkin import eliminate_variable, eliminate_variables, simplify_constraints
+from .polyhedron import Polyhedron
+from .space import CONSTANT_KEY, Space
+
+__all__ = [
+    "AffineExpr",
+    "AffineConstraint",
+    "ConstraintKind",
+    "Polyhedron",
+    "Space",
+    "CONSTANT_KEY",
+    "eliminate_variable",
+    "eliminate_variables",
+    "simplify_constraints",
+    "is_integer_empty",
+    "find_integer_point",
+    "enumerate_integer_points",
+    "count_integer_points",
+    "FarkasResult",
+    "farkas_nonnegative",
+]

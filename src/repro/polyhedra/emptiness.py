@@ -1,0 +1,109 @@
+"""Exact integer emptiness, sampling and enumeration for polyhedra.
+
+Emptiness and sampling are delegated to the branch & bound ILP solver with all
+dimensions (iterators *and* parameters) treated as free integer variables.
+Enumeration requires a bounded set and proceeds dimension by dimension using
+the rational bounds from Fourier–Motzkin projection, checking each candidate
+point against the original constraints.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Mapping
+
+from ..ilp.branch_bound import solve_milp
+from ..ilp.problem import ConstraintSense, LinearProblem
+from ..ilp.simplex import LpStatus
+from .polyhedron import Polyhedron
+from .space import CONSTANT_KEY
+
+__all__ = [
+    "is_integer_empty",
+    "find_integer_point",
+    "enumerate_integer_points",
+    "count_integer_points",
+]
+
+_ENUMERATION_LIMIT = 2_000_000
+
+
+def _to_problem(polyhedron: Polyhedron) -> LinearProblem:
+    problem = LinearProblem()
+    for name in polyhedron.space.names:
+        problem.add_variable(name, lower=None, upper=None, is_integer=True)
+    for constraint in polyhedron.constraints:
+        coefficients = dict(constraint.expression.coefficients)
+        rhs = -constraint.expression.constant
+        sense = ConstraintSense.EQ if constraint.is_equality else ConstraintSense.GE
+        problem.add_constraint(coefficients, sense, rhs)
+    return problem
+
+
+def is_integer_empty(polyhedron: Polyhedron) -> bool:
+    """True when the polyhedron contains no integer point."""
+    return find_integer_point(polyhedron) is None
+
+
+def find_integer_point(polyhedron: Polyhedron) -> dict[str, int] | None:
+    """Some integer point of the polyhedron, or ``None`` when it is empty."""
+    if polyhedron.has_trivial_contradiction():
+        return None
+    problem = _to_problem(polyhedron)
+    result = solve_milp(problem, None)
+    if result.status is not LpStatus.OPTIMAL:
+        return None
+    return {name: int(value) for name, value in result.assignment.items()}
+
+
+def enumerate_integer_points(polyhedron: Polyhedron) -> list[dict[str, int]]:
+    """All integer points of a bounded polyhedron with no remaining parameters.
+
+    The points are produced in lexicographic order of the space's iterator
+    names.  A :class:`ValueError` is raised when a dimension is unbounded or
+    when the point count exceeds a safety limit.
+    """
+    if polyhedron.space.parameters:
+        raise ValueError("enumeration requires all parameters to be fixed first")
+    names = list(polyhedron.space.iterators)
+    points: list[dict[str, int]] = []
+    _enumerate_rec(polyhedron, names, 0, {}, points)
+    return points
+
+
+def count_integer_points(
+    polyhedron: Polyhedron, parameter_values: Mapping[str, int] | None = None
+) -> int:
+    """Number of integer points after fixing the parameters."""
+    fixed = polyhedron.fix_dimensions(parameter_values or {})
+    return len(enumerate_integer_points(fixed))
+
+
+def _enumerate_rec(
+    polyhedron: Polyhedron,
+    names: list[str],
+    depth: int,
+    partial: dict[str, int],
+    points: list[dict[str, int]],
+) -> None:
+    if depth == len(names):
+        if polyhedron.contains(partial):
+            points.append(dict(partial))
+        return
+    name = names[depth]
+    # Project away the deeper dimensions to obtain bounds for `name` in terms of
+    # the already fixed outer dimensions.
+    projected = polyhedron.project_onto(names[: depth + 1])
+    substituted = projected.fix_dimensions({k: partial[k] for k in names[:depth]})
+    lower, upper = substituted.dimension_bounds(name)
+    if not lower or not upper:
+        raise ValueError(f"dimension {name!r} is unbounded; cannot enumerate")
+    low = max(math.ceil(bound.constant) for bound in lower)
+    high = min(math.floor(bound.constant) for bound in upper)
+    if len(points) > _ENUMERATION_LIMIT:
+        raise ValueError("enumeration limit exceeded")
+    for value in range(int(low), int(high) + 1):
+        partial[name] = value
+        _enumerate_rec(polyhedron, names, depth + 1, partial, points)
+    partial.pop(name, None)

@@ -1,0 +1,124 @@
+"""Affine form of the Farkas lemma.
+
+This is the central linearisation device of affine scheduling (Feautrier 1992,
+Pluto 2008).  An affine form ``f(x)`` is non-negative everywhere on a non-empty
+polyhedron ``P = { x | c_k(x) >= 0 }`` if and only if it can be written as
+
+    f(x)  ≡  lambda_0 + sum_k lambda_k * c_k(x),        lambda_i >= 0.
+
+In the scheduler, the coefficients of ``f`` are themselves unknowns of the ILP
+(schedule coefficients, bounding-function coefficients...).  Matching the
+coefficients of every dimension of ``x`` and of the constant term produces a
+system that is linear in both the ILP unknowns and the Farkas multipliers; the
+multipliers are then eliminated (Gaussian substitution + Fourier–Motzkin),
+leaving constraints over the ILP unknowns only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Mapping
+
+from ..linalg.rational import as_fraction
+from .affine import AffineExpr
+from .constraint import AffineConstraint, ConstraintKind
+from .fourier_motzkin import eliminate_variables, simplify_constraints
+from .polyhedron import Polyhedron
+from .space import CONSTANT_KEY
+
+__all__ = ["FarkasResult", "farkas_nonnegative", "LinearCombination"]
+
+# A linear combination of ILP variables; CONSTANT_KEY maps to a literal constant.
+LinearCombination = Mapping[str, Fraction]
+
+_multiplier_counter = itertools.count()
+
+
+class FarkasResult:
+    """Constraints over ILP variables equivalent to non-negativity over the polyhedron."""
+
+    def __init__(self, constraints: list[AffineConstraint]):
+        self.constraints = constraints
+
+    def as_rows(self) -> list[tuple[dict[str, Fraction], str, Fraction]]:
+        """Rows ``(coefficients, sense, rhs)`` ready for :class:`LinearProblem`.
+
+        Each returned row reads ``coefficients . ilp_vars  sense  rhs`` with
+        sense ``">="`` or ``"=="``.
+        """
+        rows: list[tuple[dict[str, Fraction], str, Fraction]] = []
+        for constraint in self.constraints:
+            coefficients = dict(constraint.expression.coefficients)
+            rhs = -constraint.expression.constant
+            sense = "==" if constraint.is_equality else ">="
+            rows.append((coefficients, sense, rhs))
+        return rows
+
+
+def farkas_nonnegative(
+    polyhedron: Polyhedron,
+    coefficient_templates: Mapping[str, LinearCombination],
+    constant_template: LinearCombination,
+) -> FarkasResult:
+    """Linearise ``f(x) >= 0 for all x in polyhedron`` into ILP constraints.
+
+    ``coefficient_templates`` maps each dimension name of the polyhedron to the
+    linear combination of ILP variables forming the coefficient of that
+    dimension in ``f``; ``constant_template`` is the combination forming the
+    constant term of ``f``.  Dimensions missing from ``coefficient_templates``
+    are treated as having a zero coefficient in ``f``.
+
+    The returned constraints involve only the ILP variable names used in the
+    templates (the Farkas multipliers are eliminated).
+    """
+    prefix = f"__farkas{next(_multiplier_counter)}"
+    inequality_constraints: list[AffineConstraint] = []
+    for constraint in polyhedron.constraints:
+        if constraint.is_equality:
+            inequality_constraints.append(
+                AffineConstraint(constraint.expression, ConstraintKind.INEQUALITY)
+            )
+            inequality_constraints.append(
+                AffineConstraint(-constraint.expression, ConstraintKind.INEQUALITY)
+            )
+        else:
+            inequality_constraints.append(constraint)
+
+    multiplier_names = [f"{prefix}_{k}" for k in range(len(inequality_constraints))]
+
+    system: list[AffineConstraint] = []
+    # Multipliers are non-negative.
+    for name in multiplier_names:
+        system.append(AffineConstraint(AffineExpr.variable(name), ConstraintKind.INEQUALITY))
+
+    # Coefficient matching for every dimension of the polyhedron.
+    for dimension in polyhedron.space.names:
+        template = coefficient_templates.get(dimension, {})
+        expr = _combination_to_expr(template)
+        for multiplier, constraint in zip(multiplier_names, inequality_constraints):
+            coeff = constraint.coefficient(dimension)
+            if coeff != 0:
+                expr = expr - AffineExpr({multiplier: coeff})
+        system.append(AffineConstraint(expr, ConstraintKind.EQUALITY))
+
+    # Constant matching: the residue equals lambda_0 >= 0, so an inequality suffices.
+    constant_expr = _combination_to_expr(constant_template)
+    for multiplier, constraint in zip(multiplier_names, inequality_constraints):
+        constant = constraint.expression.constant
+        if constant != 0:
+            constant_expr = constant_expr - AffineExpr({multiplier: constant})
+    system.append(AffineConstraint(constant_expr, ConstraintKind.INEQUALITY))
+
+    reduced = eliminate_variables(system, multiplier_names)
+    return FarkasResult(simplify_constraints(reduced))
+
+
+def _combination_to_expr(combination: LinearCombination) -> AffineExpr:
+    coefficients = {
+        name: as_fraction(value)
+        for name, value in combination.items()
+        if name != CONSTANT_KEY
+    }
+    constant = as_fraction(combination.get(CONSTANT_KEY, 0))
+    return AffineExpr(coefficients, constant)

@@ -1,0 +1,136 @@
+"""Variable elimination on affine constraint systems.
+
+Two techniques are combined, mirroring what Pluto's Farkas machinery does:
+
+* **Gaussian substitution** — when an equality involves the variable being
+  eliminated it is used to substitute the variable away in every other
+  constraint (with positive multipliers on inequalities so their direction is
+  preserved);
+* **Fourier–Motzkin** — otherwise each pair of a lower-bounding and an
+  upper-bounding inequality is combined.
+
+Over the rationals this yields the exact projection.  Over the integers the
+result is the rational shadow, which is an over-approximation; this is exactly
+what the legality/codegen layers need (guards re-establish exactness).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from .constraint import AffineConstraint, ConstraintKind
+
+__all__ = ["eliminate_variable", "eliminate_variables", "simplify_constraints"]
+
+
+def eliminate_variable(
+    constraints: Sequence[AffineConstraint], name: str
+) -> list[AffineConstraint]:
+    """Project the constraint system onto the dimensions other than *name*."""
+    equalities_with = [
+        c for c in constraints if c.is_equality and c.coefficient(name) != 0
+    ]
+    if equalities_with:
+        pivot = min(equalities_with, key=lambda c: abs(c.coefficient(name)))
+        return simplify_constraints(
+            _substitute_with_equality(constraints, pivot, name)
+        )
+    return simplify_constraints(_fourier_motzkin_step(constraints, name))
+
+
+def eliminate_variables(
+    constraints: Sequence[AffineConstraint], names: Iterable[str]
+) -> list[AffineConstraint]:
+    """Eliminate several variables, one at a time (cheapest first)."""
+    remaining = list(names)
+    system = list(constraints)
+    while remaining:
+        # Pick the variable whose elimination produces the fewest new constraints.
+        def cost(variable: str) -> int:
+            positives = sum(
+                1
+                for c in system
+                if not c.is_equality and c.coefficient(variable) > 0
+            )
+            negatives = sum(
+                1
+                for c in system
+                if not c.is_equality and c.coefficient(variable) < 0
+            )
+            has_equality = any(
+                c.is_equality and c.coefficient(variable) != 0 for c in system
+            )
+            return 0 if has_equality else positives * negatives
+
+        variable = min(remaining, key=cost)
+        remaining.remove(variable)
+        system = eliminate_variable(system, variable)
+    return system
+
+
+def simplify_constraints(constraints: Sequence[AffineConstraint]) -> list[AffineConstraint]:
+    """Normalise coefficients, drop duplicates and trivially-true constraints."""
+    seen: set[tuple] = set()
+    result: list[AffineConstraint] = []
+    for constraint in constraints:
+        normal = constraint.normalized()
+        if normal.is_trivially_true():
+            continue
+        key = (
+            normal.kind,
+            frozenset(normal.expression.coefficients.items()),
+            normal.expression.constant,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(normal)
+    return result
+
+
+def _substitute_with_equality(
+    constraints: Sequence[AffineConstraint], pivot: AffineConstraint, name: str
+) -> list[AffineConstraint]:
+    pivot_coeff = pivot.coefficient(name)
+    sign = 1 if pivot_coeff > 0 else -1
+    magnitude = abs(pivot_coeff)
+    result: list[AffineConstraint] = []
+    for constraint in constraints:
+        if constraint is pivot:
+            continue
+        coeff = constraint.coefficient(name)
+        if coeff == 0:
+            result.append(constraint)
+            continue
+        # magnitude * C  -  sign * coeff * pivot  cancels the variable and keeps
+        # the multiplier on the (possibly) inequality C positive.
+        expression = constraint.expression * magnitude - pivot.expression * (sign * coeff)
+        result.append(AffineConstraint(expression, constraint.kind))
+    return result
+
+
+def _fourier_motzkin_step(
+    constraints: Sequence[AffineConstraint], name: str
+) -> list[AffineConstraint]:
+    unrelated: list[AffineConstraint] = []
+    lower_bounds: list[AffineConstraint] = []  # positive coefficient on `name`
+    upper_bounds: list[AffineConstraint] = []  # negative coefficient on `name`
+    for constraint in constraints:
+        coeff = constraint.coefficient(name)
+        if coeff == 0:
+            unrelated.append(constraint)
+        elif constraint.is_equality:
+            raise AssertionError("equalities involving the variable are handled by substitution")
+        elif coeff > 0:
+            lower_bounds.append(constraint)
+        else:
+            upper_bounds.append(constraint)
+    combined: list[AffineConstraint] = []
+    for lower in lower_bounds:
+        a = lower.coefficient(name)
+        for upper in upper_bounds:
+            b = upper.coefficient(name)
+            expression = lower.expression * (-b) + upper.expression * a
+            combined.append(AffineConstraint(expression, ConstraintKind.INEQUALITY))
+    return unrelated + combined

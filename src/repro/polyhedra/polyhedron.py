@@ -1,0 +1,188 @@
+"""Parametric integer polyhedra (conjunctions of affine constraints)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping, Sequence
+
+from ..linalg.rational import Rational, as_fraction
+from .affine import AffineExpr
+from .constraint import AffineConstraint, ConstraintKind
+from .fourier_motzkin import eliminate_variables, simplify_constraints
+from .space import Space
+
+__all__ = ["Polyhedron"]
+
+
+@dataclass(frozen=True)
+class Polyhedron:
+    """A set ``{ x | constraints(x, params) }`` over a named :class:`Space`."""
+
+    space: Space
+    constraints: tuple[AffineConstraint, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        known = set(self.space.names)
+        for constraint in self.constraints:
+            unknown = constraint.variables() - known
+            if unknown:
+                raise ValueError(
+                    f"constraint {constraint} references unknown dimensions {sorted(unknown)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def universe(cls, space: Space) -> "Polyhedron":
+        """The unconstrained polyhedron over *space*."""
+        return cls(space, tuple())
+
+    @classmethod
+    def from_constraints(
+        cls, space: Space, constraints: Iterable[AffineConstraint]
+    ) -> "Polyhedron":
+        return cls(space, tuple(simplify_constraints(list(constraints))))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    def equalities(self) -> list[AffineConstraint]:
+        return [c for c in self.constraints if c.is_equality]
+
+    def inequalities(self) -> list[AffineConstraint]:
+        return [c for c in self.constraints if not c.is_equality]
+
+    def contains(self, point: Mapping[str, Rational]) -> bool:
+        """True when *point* (an assignment of every dimension) satisfies all constraints."""
+        values = {name: as_fraction(point[name]) for name in self.space.names}
+        return all(constraint.is_satisfied(values) for constraint in self.constraints)
+
+    def has_trivial_contradiction(self) -> bool:
+        """True when some constraint is a constant contradiction (e.g. ``-1 >= 0``)."""
+        return any(constraint.is_trivially_false() for constraint in self.constraints)
+
+    # ------------------------------------------------------------------ #
+    # Set operations
+    # ------------------------------------------------------------------ #
+    def add_constraints(self, constraints: Iterable[AffineConstraint]) -> "Polyhedron":
+        """The polyhedron with extra constraints added (same space)."""
+        return Polyhedron.from_constraints(
+            self.space, list(self.constraints) + list(constraints)
+        )
+
+    def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        """Intersection of two polyhedra over the same space."""
+        if other.space != self.space:
+            raise ValueError("cannot intersect polyhedra over different spaces")
+        return self.add_constraints(other.constraints)
+
+    def project_onto(self, names: Sequence[str]) -> "Polyhedron":
+        """Project onto the listed iterator dimensions (parameters always kept)."""
+        keep = set(names) | set(self.space.parameters)
+        drop = [name for name in self.space.iterators if name not in keep]
+        projected = eliminate_variables(list(self.constraints), drop)
+        new_space = Space(
+            tuple(n for n in self.space.iterators if n in keep), self.space.parameters
+        )
+        return Polyhedron.from_constraints(new_space, projected)
+
+    def project_out(self, names: Iterable[str]) -> "Polyhedron":
+        """Eliminate the listed iterator dimensions."""
+        drop = set(names)
+        keep = [name for name in self.space.iterators if name not in drop]
+        return self.project_onto(keep)
+
+    def rename_iterators(self, mapping: Mapping[str, str]) -> "Polyhedron":
+        """Rename iterator dimensions (space and constraints consistently)."""
+        return Polyhedron(
+            self.space.rename_iterators(mapping),
+            tuple(constraint.rename(dict(mapping)) for constraint in self.constraints),
+        )
+
+    def with_space(self, space: Space) -> "Polyhedron":
+        """Re-interpret the same constraints in a larger space (must contain all dims)."""
+        missing = set(self.space.names) - set(space.names)
+        if missing:
+            raise ValueError(f"target space is missing dimensions {sorted(missing)}")
+        return Polyhedron(space, self.constraints)
+
+    def fix_dimensions(self, values: Mapping[str, Rational]) -> "Polyhedron":
+        """Substitute fixed numeric values for some dimensions.
+
+        The fixed dimensions are removed from the space (parameters included),
+        which is how parameter context values are applied before enumeration.
+        """
+        bindings = {name: AffineExpr.const(value) for name, value in values.items()}
+        constraints = [constraint.substitute(bindings) for constraint in self.constraints]
+        new_space = Space(
+            tuple(n for n in self.space.iterators if n not in values),
+            tuple(n for n in self.space.parameters if n not in values),
+        )
+        return Polyhedron.from_constraints(new_space, constraints)
+
+    # ------------------------------------------------------------------ #
+    # Emptiness / sampling / enumeration (delegated to the ILP layer)
+    # ------------------------------------------------------------------ #
+    def is_empty(self, extra_assumptions: Iterable[AffineConstraint] = ()) -> bool:
+        """Exact integer emptiness check (parameters treated as free integers)."""
+        from .emptiness import is_integer_empty
+
+        return is_integer_empty(self.add_constraints(extra_assumptions))
+
+    def sample_point(self) -> dict[str, int] | None:
+        """Some integer point of the polyhedron, or ``None`` when empty."""
+        from .emptiness import find_integer_point
+
+        return find_integer_point(self)
+
+    def enumerate_points(self, parameter_values: Mapping[str, int] | None = None) -> list[dict[str, int]]:
+        """Enumerate all integer points (requires the set to be bounded).
+
+        ``parameter_values`` fixes the parameters first.  Enumeration is meant
+        for small validation domains only.
+        """
+        from .emptiness import enumerate_integer_points
+
+        fixed = self.fix_dimensions(parameter_values or {})
+        return enumerate_integer_points(fixed)
+
+    # ------------------------------------------------------------------ #
+    # Bounds
+    # ------------------------------------------------------------------ #
+    def dimension_bounds(
+        self, name: str
+    ) -> tuple[list[AffineExpr], list[AffineExpr]]:
+        """Symbolic lower and upper bound expressions for dimension *name*.
+
+        The bounds are derived from constraints mentioning *name*: each
+        constraint ``a*name + e >= 0`` with ``a > 0`` yields the lower bound
+        ``ceil(-e / a)`` (returned as the affine expression ``-e/a``; the caller
+        applies the ceiling), and symmetrically for upper bounds.  Equalities
+        contribute to both lists.
+        """
+        lower: list[AffineExpr] = []
+        upper: list[AffineExpr] = []
+        for constraint in self.constraints:
+            coeff = constraint.coefficient(name)
+            if coeff == 0:
+                continue
+            rest = constraint.expression - AffineExpr({name: coeff})
+            bound = rest * Fraction(-1, 1) * (Fraction(1) / coeff)
+            if constraint.is_equality:
+                lower.append(bound)
+                upper.append(bound)
+            elif coeff > 0:
+                lower.append(bound)
+            else:
+                upper.append(bound)
+        return lower, upper
+
+    def __str__(self) -> str:
+        body = " and ".join(str(c) for c in self.constraints) or "true"
+        return f"{self.space} : {body}"

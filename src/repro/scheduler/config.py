@@ -1,0 +1,303 @@
+"""Scheduler configurations: the paper's JSON and programmatic interfaces.
+
+A :class:`SchedulerConfig` collects everything that makes PolyTOPS
+reconfigurable (Section III of the paper):
+
+* **local configurations** — per-dimension cost function lists, new variables,
+  custom constraints, fusion/distribution control;
+* **global configurations** — directives (parallelize / vectorize / sequential)
+  and auto-vectorisation;
+* **options** — coefficient bounds, negative coefficients (Pluto+ mode),
+  the default dimensionality-based fusion heuristic, tile sizes for the
+  post-processing.
+
+Configurations can be written as JSON documents (Listing 2 of the paper) or
+built programmatically.  The dynamic "C++ interface" of the paper is modelled
+by a Python callback (:attr:`SchedulerConfig.strategy_callback`) invoked before
+each scheduling dimension with the current scheduling state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "DimensionConfig",
+    "FusionSpec",
+    "Directive",
+    "StrategyDecision",
+    "StrategyState",
+    "SchedulerConfig",
+    "DEFAULT_DIMENSION",
+]
+
+DEFAULT_DIMENSION = "default"
+
+KNOWN_COST_FUNCTIONS = ("proximity", "feautrier", "contiguity", "bigLoopsFirst")
+KNOWN_DIRECTIVES = ("vectorize", "parallel", "sequential")
+
+
+@dataclass(frozen=True)
+class DimensionConfig:
+    """ILP construction options for one scheduling dimension."""
+
+    cost_functions: tuple[str, ...] = ("proximity",)
+    constraints: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FusionSpec:
+    """Fusion/distribution control for one scheduling dimension.
+
+    ``groups`` lists groups of statement identifiers (indices as strings or
+    statement names); statements in the same group are fused at that dimension
+    while different groups are distributed.  ``total_distribution`` distributes
+    every statement separately.
+    """
+
+    dimension: int
+    total_distribution: bool = False
+    groups: tuple[tuple[str, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class Directive:
+    """A global directive: parallelize, vectorize or keep sequential some loop."""
+
+    kind: str
+    statements: tuple[str, ...]
+    iterator: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_DIRECTIVES:
+            raise ConfigurationError(
+                f"unknown directive {self.kind!r}; expected one of {KNOWN_DIRECTIVES}"
+            )
+
+
+@dataclass(frozen=True)
+class StrategyDecision:
+    """What a dynamic strategy callback decides for the next scheduling dimension."""
+
+    cost_functions: tuple[str, ...] | None = None
+    constraints: tuple[str, ...] | None = None
+    recompute_last: bool = False
+
+
+@dataclass
+class StrategyState:
+    """Scheduling state exposed to dynamic strategy callbacks.
+
+    Mirrors the information available to the C++ interface of the paper: the
+    dimension about to be computed, whether the previous dimension turned out
+    parallel, whether it was already recomputed, the number of active (not yet
+    satisfied) dependences and the schedule rows found so far.
+    """
+
+    dimension: int
+    last_dimension_parallel: bool | None
+    last_dimension_recomputed: bool
+    active_dependences: int
+    rows_so_far: dict[str, list]
+    statements: list[str]
+
+
+StrategyCallback = Callable[[StrategyState], StrategyDecision]
+
+
+@dataclass
+class SchedulerConfig:
+    """A complete PolyTOPS configuration."""
+
+    name: str = "custom"
+    new_variables: tuple[str, ...] = ()
+    ilp_construction: dict[int | str, DimensionConfig] = field(default_factory=dict)
+    custom_constraints: dict[int | str, tuple[str, ...]] = field(default_factory=dict)
+    fusion: tuple[FusionSpec, ...] = ()
+    directives: tuple[Directive, ...] = ()
+    auto_vectorize: bool = False
+    allow_negative_coefficients: bool = False
+    coefficient_bound: int = 4
+    constant_bound: int = 16
+    dimensionality_fusion_heuristic: bool = True
+    strategy_callback: StrategyCallback | None = None
+    tile_sizes: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Accessors used by the scheduling loop
+    # ------------------------------------------------------------------ #
+    def dimension_config(self, dimension: int) -> DimensionConfig:
+        """The ILP construction options for *dimension* (falling back to ``default``)."""
+        if dimension in self.ilp_construction:
+            return self.ilp_construction[dimension]
+        if DEFAULT_DIMENSION in self.ilp_construction:
+            return self.ilp_construction[DEFAULT_DIMENSION]
+        return DimensionConfig()
+
+    def constraints_for(self, dimension: int) -> tuple[str, ...]:
+        """Custom constraints for *dimension*: dimension-specific plus defaults."""
+        specific = self.custom_constraints.get(dimension, ())
+        default = self.custom_constraints.get(DEFAULT_DIMENSION, ())
+        combined = tuple(specific) + tuple(default)
+        inline = self.dimension_config(dimension).constraints
+        return combined + tuple(inline)
+
+    def fusion_for(self, dimension: int) -> FusionSpec | None:
+        for spec in self.fusion:
+            if spec.dimension == dimension:
+                return spec
+        return None
+
+    def directives_for(self, kind: str) -> list[Directive]:
+        return [directive for directive in self.directives if directive.kind == kind]
+
+    # ------------------------------------------------------------------ #
+    # JSON interface (Listing 2)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_json(cls, source: str | Path | Mapping[str, Any], name: str | None = None) -> "SchedulerConfig":
+        """Build a configuration from a JSON document, file path or mapping."""
+        looks_like_path = isinstance(source, Path) or (
+            isinstance(source, str)
+            and "{" not in source
+            and "\n" not in source
+            and len(source) < 4096
+        )
+        if looks_like_path and Path(str(source)).exists():
+            data = json.loads(Path(source).read_text())
+        elif isinstance(source, str):
+            data = json.loads(source)
+        elif isinstance(source, Mapping):
+            data = dict(source)
+        else:
+            raise ConfigurationError(f"unsupported configuration source: {source!r}")
+
+        strategy = data.get("scheduling_strategy", data)
+        config = cls(name=name or str(strategy.get("name", "json")))
+
+        config.new_variables = tuple(strategy.get("new_variables", ()))
+
+        ilp_construction: dict[int | str, DimensionConfig] = {}
+        for entry in strategy.get("ILP_construction", []):
+            dimension = _parse_dimension(entry.get("scheduling_dimension", DEFAULT_DIMENSION))
+            ilp_construction[dimension] = DimensionConfig(
+                cost_functions=tuple(entry.get("cost_functions", ("proximity",))),
+                constraints=tuple(entry.get("constraints", ())),
+            )
+        config.ilp_construction = ilp_construction
+
+        custom_constraints: dict[int | str, tuple[str, ...]] = {}
+        for entry in strategy.get("custom_constraints", []):
+            dimension = _parse_dimension(entry.get("scheduling_dimension", DEFAULT_DIMENSION))
+            custom_constraints[dimension] = tuple(entry.get("constraints", ()))
+        config.custom_constraints = custom_constraints
+
+        fusion: list[FusionSpec] = []
+        for entry in strategy.get("fusion", []):
+            fusion.append(
+                FusionSpec(
+                    dimension=int(entry.get("scheduling_dimension", 0)),
+                    total_distribution=bool(entry.get("total_distribution", False)),
+                    groups=tuple(
+                        tuple(str(member) for member in group)
+                        for group in entry.get("stmts_fusion", [])
+                    ),
+                )
+            )
+        config.fusion = tuple(fusion)
+
+        directives: list[Directive] = []
+        for entry in strategy.get("directives", []):
+            directives.append(
+                Directive(
+                    kind=str(entry["type"]),
+                    statements=_parse_statement_list(entry.get("stmts", ())),
+                    iterator=str(entry["iterator"]) if "iterator" in entry else None,
+                )
+            )
+        config.directives = tuple(directives)
+
+        options = strategy.get("options", {})
+        config.auto_vectorize = bool(options.get("auto_vectorization", strategy.get("auto_vectorization", False)))
+        config.allow_negative_coefficients = bool(options.get("negative_coefficients", False))
+        config.coefficient_bound = int(options.get("coefficient_bound", config.coefficient_bound))
+        config.constant_bound = int(options.get("constant_bound", config.constant_bound))
+        config.dimensionality_fusion_heuristic = bool(
+            options.get("dimensionality_fusion_heuristic", config.dimensionality_fusion_heuristic)
+        )
+        config.tile_sizes = tuple(int(size) for size in options.get("tile_sizes", ()))
+        return config
+
+    def to_json(self) -> str:
+        """Serialise the static part of the configuration back to JSON."""
+        document: dict[str, Any] = {
+            "scheduling_strategy": {
+                "name": self.name,
+                "new_variables": list(self.new_variables),
+                "ILP_construction": [
+                    {
+                        "scheduling_dimension": dimension,
+                        "cost_functions": list(config.cost_functions),
+                        "constraints": list(config.constraints),
+                    }
+                    for dimension, config in self.ilp_construction.items()
+                ],
+                "custom_constraints": [
+                    {"scheduling_dimension": dimension, "constraints": list(constraints)}
+                    for dimension, constraints in self.custom_constraints.items()
+                ],
+                "fusion": [
+                    {
+                        "scheduling_dimension": spec.dimension,
+                        "total_distribution": spec.total_distribution,
+                        "stmts_fusion": [list(group) for group in spec.groups],
+                    }
+                    for spec in self.fusion
+                ],
+                "directives": [
+                    {
+                        "type": directive.kind,
+                        "stmts": list(directive.statements),
+                        **({"iterator": directive.iterator} if directive.iterator else {}),
+                    }
+                    for directive in self.directives
+                ],
+                "options": {
+                    "auto_vectorization": self.auto_vectorize,
+                    "negative_coefficients": self.allow_negative_coefficients,
+                    "coefficient_bound": self.coefficient_bound,
+                    "constant_bound": self.constant_bound,
+                    "dimensionality_fusion_heuristic": self.dimensionality_fusion_heuristic,
+                    "tile_sizes": list(self.tile_sizes),
+                },
+            }
+        }
+        return json.dumps(document, indent=2)
+
+    def with_directives(self, directives: Sequence[Directive]) -> "SchedulerConfig":
+        """A copy of the configuration with extra directives appended."""
+        clone = SchedulerConfig(**{**self.__dict__})
+        clone.directives = tuple(self.directives) + tuple(directives)
+        return clone
+
+
+def _parse_dimension(value: Any) -> int | str:
+    if isinstance(value, str) and value != DEFAULT_DIMENSION:
+        try:
+            return int(value)
+        except ValueError as error:
+            raise ConfigurationError(f"invalid scheduling dimension {value!r}") from error
+    if isinstance(value, str):
+        return DEFAULT_DIMENSION
+    return int(value)
+
+
+def _parse_statement_list(value: Any) -> tuple[str, ...]:
+    if isinstance(value, str):
+        return (value,)
+    return tuple(str(member) for member in value)

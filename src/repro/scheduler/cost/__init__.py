@@ -1,0 +1,41 @@
+"""Cost functions selectable from PolyTOPS configurations.
+
+The four predefined cost functions of the paper are registered here:
+``proximity`` (Pluto), ``feautrier``, ``contiguity`` (Tensor-scheduler-like)
+and ``bigLoopsFirst``.  User-declared configuration variables act as
+additional cost functions through :class:`VariableObjective`.
+"""
+
+from .base import (
+    CostFunction,
+    register_cost_function,
+    registered_cost_functions,
+    resolve_cost_function,
+)
+from .big_loops_first import BigLoopsFirstCost, big_loops_support_coefficients
+from .contiguity import ContiguityCost, contiguity_support_coefficients
+from .custom import VariableObjective
+from .feautrier import FeautrierCost, satisfaction_indicator
+from .proximity import ProximityCost, bound_constant_variable, bound_parameter_variable
+
+register_cost_function(ProximityCost.name, ProximityCost)
+register_cost_function(FeautrierCost.name, FeautrierCost)
+register_cost_function(ContiguityCost.name, ContiguityCost)
+register_cost_function(BigLoopsFirstCost.name, BigLoopsFirstCost)
+
+__all__ = [
+    "CostFunction",
+    "register_cost_function",
+    "registered_cost_functions",
+    "resolve_cost_function",
+    "ProximityCost",
+    "FeautrierCost",
+    "ContiguityCost",
+    "BigLoopsFirstCost",
+    "VariableObjective",
+    "bound_parameter_variable",
+    "bound_constant_variable",
+    "satisfaction_indicator",
+    "contiguity_support_coefficients",
+    "big_loops_support_coefficients",
+]

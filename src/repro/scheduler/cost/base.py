@@ -1,0 +1,64 @@
+"""Cost function interface and registry.
+
+A cost function contributes variables, constraints and (most importantly)
+lexicographic objectives to the per-dimension ILP.  PolyTOPS configurations
+select cost functions by name and order; new cost functions can be registered
+with :func:`register_cost_function`, and user-declared configuration variables
+are automatically usable as objectives (see :mod:`.custom`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..context import IlpBuildContext
+from ..errors import ConfigurationError
+
+__all__ = ["CostFunction", "register_cost_function", "resolve_cost_function", "registered_cost_functions"]
+
+
+class CostFunction(ABC):
+    """Base class for scheduling cost functions."""
+
+    #: Name used in configurations to select the cost function.
+    name: str = "abstract"
+
+    @abstractmethod
+    def contribute(self, context: IlpBuildContext) -> None:
+        """Add variables/constraints/objectives for the current dimension."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<cost function {self.name}>"
+
+
+_REGISTRY: dict[str, Callable[[], CostFunction]] = {}
+
+
+def register_cost_function(name: str, factory: Callable[[], CostFunction]) -> None:
+    """Register a cost function factory under *name* (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def registered_cost_functions() -> list[str]:
+    """Names of all registered cost functions."""
+    return sorted(_REGISTRY)
+
+
+def resolve_cost_function(name: str, user_variables: tuple[str, ...] = ()) -> CostFunction:
+    """Instantiate the cost function *name*.
+
+    Names matching a user-declared configuration variable resolve to a
+    :class:`.custom.VariableObjective` minimising that variable, which is how
+    Listing 2 of the paper uses the new variable ``x`` as a cost function.
+    """
+    if name in _REGISTRY:
+        return _REGISTRY[name]()
+    if name in user_variables:
+        from .custom import VariableObjective
+
+        return VariableObjective(name)
+    raise ConfigurationError(
+        f"unknown cost function {name!r}; known: {registered_cost_functions()} "
+        f"or one of the declared variables {list(user_variables)}"
+    )

@@ -1,0 +1,61 @@
+"""The bigLoopsFirst (BLF) cost function.
+
+Schedules the loops with the largest iteration ranges outermost.  As in the
+contiguity cost, per-statement support coefficients weight the iterator
+coefficients of the objective; here the largest loop of a statement gets the
+smallest weight (1), the next one 10, then 100, so minimisation prefers
+selecting the biggest loops first.  This is useful when only one or a few
+levels of outer parallelism are exploitable and we want them as large as
+possible (paper Section III-A1).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ...model.statement import Statement
+from ..context import IlpBuildContext
+from ..naming import iterator_coefficient
+from .base import CostFunction
+
+__all__ = ["BigLoopsFirstCost", "big_loops_support_coefficients"]
+
+#: Multiplicative step between consecutive extent ranks (paper example uses 10).
+RANK_STEP = 10
+
+
+def big_loops_support_coefficients(
+    statement: Statement, parameter_values: dict[str, int]
+) -> dict[str, int]:
+    """Support coefficients: 1 for the largest loop, 10 for the next, etc."""
+    extents = {
+        iterator: statement.iterator_extent(iterator, parameter_values)
+        for iterator in statement.iterators
+    }
+    ordered = sorted(statement.iterators, key=lambda it: (-extents[it], statement.iterators.index(it)))
+    coefficients: dict[str, int] = {}
+    weight = 1
+    previous_extent: int | None = None
+    for position, iterator in enumerate(ordered):
+        if previous_extent is not None and extents[iterator] != previous_extent:
+            weight *= RANK_STEP
+        coefficients[iterator] = weight
+        previous_extent = extents[iterator]
+    return coefficients
+
+
+class BigLoopsFirstCost(CostFunction):
+    """Prefer scheduling the loops with the largest domains outermost."""
+
+    name = "bigLoopsFirst"
+
+    def contribute(self, context: IlpBuildContext) -> None:
+        objective: dict[str, Fraction] = {}
+        parameter_values = dict(context.parameter_values)
+        for statement in context.active_statements():
+            support = big_loops_support_coefficients(statement, parameter_values)
+            for iterator, weight in support.items():
+                variable = iterator_coefficient(statement.name, iterator)
+                objective[variable] = objective.get(variable, Fraction(0)) + Fraction(weight)
+        if objective:
+            context.add_objective(objective)

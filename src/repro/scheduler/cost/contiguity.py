@@ -1,0 +1,61 @@
+"""The contiguity cost function (inspired by the Tensor Scheduler, paper Eq. 5).
+
+Each statement gets support coefficients ``c_{S,i}`` describing how undesirable
+it is to schedule iterator ``i`` at an outer dimension from the point of view
+of spatial locality: iterators that move contiguously (stride-1) through memory
+should end up innermost, so they receive a large support coefficient while the
+others receive 1.  The objective minimises ``sum_S sum_i c_{S,i} * T_it_{S,i}``,
+so the ILP prefers selecting the non-contiguous iterators first (outermost).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ...model.statement import Statement
+from ..context import IlpBuildContext
+from ..naming import iterator_coefficient
+from .base import CostFunction
+
+__all__ = ["ContiguityCost", "contiguity_support_coefficients"]
+
+#: Weight given to a stride-1 iterator (the paper's examples use 10).
+CONTIGUOUS_WEIGHT = 10
+
+
+def contiguity_support_coefficients(statement: Statement) -> dict[str, int]:
+    """The support coefficients ``c_{S,i}`` of Eq. 5 for one statement.
+
+    The iterator(s) with the most stride-1 accesses receive the weight
+    :data:`CONTIGUOUS_WEIGHT`; all other iterators receive 1.  Statements with
+    no stride-1 access give every iterator weight 1 (the cost is then neutral).
+    """
+    votes = statement.contiguity_votes()
+    if not votes:
+        return {}
+    best = max(votes.values())
+    coefficients: dict[str, int] = {}
+    for iterator in statement.iterators:
+        if best > 0 and votes[iterator] == best:
+            coefficients[iterator] = CONTIGUOUS_WEIGHT
+        elif votes[iterator] > 0:
+            coefficients[iterator] = 1 + (CONTIGUOUS_WEIGHT - 1) * votes[iterator] // max(best, 1)
+        else:
+            coefficients[iterator] = 1
+    return coefficients
+
+
+class ContiguityCost(CostFunction):
+    """Prefer schedules whose outer dimensions use non-contiguous iterators."""
+
+    name = "contiguity"
+
+    def contribute(self, context: IlpBuildContext) -> None:
+        objective: dict[str, Fraction] = {}
+        for statement in context.active_statements():
+            support = contiguity_support_coefficients(statement)
+            for iterator, weight in support.items():
+                variable = iterator_coefficient(statement.name, iterator)
+                objective[variable] = objective.get(variable, Fraction(0)) + Fraction(weight)
+        if objective:
+            context.add_objective(objective)

@@ -1,0 +1,30 @@
+"""User-defined objectives.
+
+A configuration may declare new variables (Listing 2, ``new_variables``), link
+them to schedule coefficients through custom constraints and then list them as
+cost functions; the variable is simply minimised at its position in the
+lexicographic objective order.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..context import IlpBuildContext
+from .base import CostFunction
+
+__all__ = ["VariableObjective"]
+
+
+class VariableObjective(CostFunction):
+    """Minimise one user-declared configuration variable."""
+
+    def __init__(self, variable: str):
+        self.variable = variable
+        self.name = variable
+
+    def contribute(self, context: IlpBuildContext) -> None:
+        if self.variable not in context.problem.variables:
+            bound = 16 * max(context.config.coefficient_bound, 1)
+            context.problem.add_variable(self.variable, 0, bound)
+        context.add_objective({self.variable: Fraction(1)})

@@ -1,0 +1,18 @@
+"""Scheduler-specific exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["SchedulingError", "ConfigurationError"]
+
+
+class SchedulingError(RuntimeError):
+    """Raised when no legal schedule can be produced under the active configuration.
+
+    Following the paper, this can only happen when custom constraints or
+    fusion/distribution control over-constrain the problem; the default
+    strategies always find a legal schedule.
+    """
+
+
+class ConfigurationError(ValueError):
+    """Raised for malformed configurations (JSON or programmatic)."""

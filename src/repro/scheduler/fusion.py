@@ -1,0 +1,201 @@
+"""Fusion and distribution control.
+
+Three mechanisms decide loop fusion/distribution, in decreasing priority:
+
+1. **Explicit configuration** (Listing 2 ``fusion`` entries): the user lists,
+   for a scheduling dimension, groups of statements to fuse; different groups
+   are distributed (given different constant values at that dimension).
+2. **Dimensionality heuristic** (the paper's default, similar to Pluto's
+   ``smartfuse``): at the outermost dimension, statements with different loop
+   dimensionality are distributed.
+3. **SCC fallback** (Algorithm 1, lines 32-36): when the per-dimension ILP has
+   no solution even after closing the current band, the statements are
+   distributed according to the strongly connected components of the remaining
+   dependence graph.
+
+A distribution dimension assigns one constant per group; groups are ordered so
+that every remaining dependence flows forward (topological order of the group
+condensation), which strongly satisfies all inter-group dependences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..deps.dependence import Dependence
+from ..deps.graph import DependenceGraph
+from ..model.statement import Statement
+from ..polyhedra.affine import AffineExpr
+from .config import FusionSpec, SchedulerConfig
+from .errors import SchedulingError
+
+__all__ = ["DistributionDecision", "FusionController"]
+
+
+@dataclass(frozen=True)
+class DistributionDecision:
+    """A distribution of statements into ordered groups at one dimension."""
+
+    groups: tuple[tuple[str, ...], ...]
+    origin: str  # "config", "dimensionality", "scc"
+
+    def constant_for(self, statement: str) -> int:
+        for position, group in enumerate(self.groups):
+            if statement in group:
+                return position
+        raise KeyError(f"statement {statement!r} is in no distribution group")
+
+    def rows(self, statements: Sequence[Statement]) -> dict[str, AffineExpr]:
+        """The constant schedule row of every statement for this dimension."""
+        return {
+            statement.name: AffineExpr.const(self.constant_for(statement.name))
+            for statement in statements
+        }
+
+    def separates(self, source: str, target: str) -> bool:
+        """True when source and target fall into different groups."""
+        return self.constant_for(source) != self.constant_for(target)
+
+
+class FusionController:
+    """Decides distribution dimensions for the scheduling loop."""
+
+    def __init__(self, config: SchedulerConfig, statements: Sequence[Statement]):
+        self.config = config
+        self.statements = list(statements)
+        self._by_index = {str(statement.index): statement.name for statement in statements}
+        self._names = {statement.name for statement in statements}
+        self._dimensionality_done = False
+
+    # ------------------------------------------------------------------ #
+    # Decision points
+    # ------------------------------------------------------------------ #
+    def configured_distribution(
+        self, dimension: int, active_dependences: Sequence[Dependence]
+    ) -> DistributionDecision | None:
+        """Distribution requested explicitly by the configuration for *dimension*."""
+        spec = self.config.fusion_for(dimension)
+        if spec is None:
+            return None
+        groups = self._expand_spec(spec)
+        if len(groups) <= 1 and not spec.total_distribution:
+            return None
+        ordered = self._order_groups(groups, active_dependences, allow_reorder=False)
+        return DistributionDecision(tuple(tuple(g) for g in ordered), "config")
+
+    def dimensionality_distribution(
+        self, dimension: int, active_dependences: Sequence[Dependence]
+    ) -> DistributionDecision | None:
+        """The default heuristic: distribute statements of different loop depth."""
+        if (
+            dimension != 0
+            or not self.config.dimensionality_fusion_heuristic
+            or self._dimensionality_done
+        ):
+            return None
+        self._dimensionality_done = True
+        depths = {statement.depth for statement in self.statements}
+        if len(depths) <= 1:
+            return None
+        groups: list[list[str]] = []
+        for depth in sorted(depths, reverse=True):
+            groups.append(
+                [statement.name for statement in self.statements if statement.depth == depth]
+            )
+        try:
+            ordered = self._order_groups(groups, active_dependences, allow_reorder=True)
+        except SchedulingError:
+            return None
+        return DistributionDecision(tuple(tuple(g) for g in ordered), "dimensionality")
+
+    def scc_distribution(
+        self, active_dependences: Sequence[Dependence]
+    ) -> DistributionDecision | None:
+        """The fallback distribution along strongly connected components."""
+        graph = DependenceGraph.from_dependences(
+            [statement.name for statement in self.statements], active_dependences
+        )
+        components = graph.condensation_order()
+        if len(components) <= 1:
+            return None
+        return DistributionDecision(tuple(tuple(c) for c in components), "scc")
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _expand_spec(self, spec: FusionSpec) -> list[list[str]]:
+        if spec.total_distribution and not spec.groups:
+            return [[statement.name] for statement in self.statements]
+        groups: list[list[str]] = []
+        mentioned: set[str] = set()
+        for group in spec.groups:
+            resolved = [self._resolve_statement(member) for member in group]
+            groups.append(resolved)
+            mentioned.update(resolved)
+        for statement in self.statements:
+            if statement.name not in mentioned:
+                groups.append([statement.name])
+        return groups
+
+    def _resolve_statement(self, identifier: str) -> str:
+        if identifier in self._names:
+            return identifier
+        if identifier in self._by_index:
+            return self._by_index[identifier]
+        raise SchedulingError(
+            f"fusion specification references unknown statement {identifier!r}"
+        )
+
+    def _order_groups(
+        self,
+        groups: list[list[str]],
+        active_dependences: Sequence[Dependence],
+        allow_reorder: bool,
+    ) -> list[list[str]]:
+        """Order the groups so every inter-group dependence flows forward."""
+        graph = DependenceGraph.from_dependences(
+            [statement.name for statement in self.statements], active_dependences
+        )
+        if graph.group_order_is_legal(groups):
+            return groups
+        if not allow_reorder:
+            raise SchedulingError(
+                "the requested fusion/distribution violates dependences; "
+                "no legal schedule exists under this configuration"
+            )
+        ordering = self._topological_group_order(groups, graph)
+        if ordering is None:
+            raise SchedulingError("statement groups cannot be ordered legally")
+        return ordering
+
+    def _topological_group_order(
+        self, groups: list[list[str]], graph: DependenceGraph
+    ) -> list[list[str]] | None:
+        group_of: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                group_of[name] = index
+        n = len(groups)
+        successors: dict[int, set[int]] = {i: set() for i in range(n)}
+        in_degree = {i: 0 for i in range(n)}
+        for source, target, _ in graph.edges:
+            a, b = group_of.get(source), group_of.get(target)
+            if a is None or b is None or a == b:
+                continue
+            if b not in successors[a]:
+                successors[a].add(b)
+                in_degree[b] += 1
+        ready = sorted(i for i in range(n) if in_degree[i] == 0)
+        ordered: list[list[str]] = []
+        while ready:
+            current = ready.pop(0)
+            ordered.append(groups[current])
+            for successor in sorted(successors[current]):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+        if len(ordered) != n:
+            return None
+        return ordered

@@ -1,0 +1,83 @@
+"""Legality and bounding constraints for one scheduling dimension.
+
+Both constraint families are universally quantified over a dependence
+polyhedron and are linearised with the affine form of the Farkas lemma:
+
+* **legality** (paper Eq. 2): ``phi_R(t) - phi_S(s) - delta >= 0`` for all
+  ``(s, t)`` in the dependence, where ``delta`` is 0 for weak satisfaction, 1
+  for strong satisfaction, or an ILP variable (used by the Feautrier cost
+  function to count strongly satisfied dependences).
+* **bounding** (paper Eq. 4, the proximity cost): ``u . N + w - (phi_R - phi_S)
+  >= 0``, whose minimisation bounds the dependence distance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from ..deps.dependence import Dependence
+from ..model.statement import Statement
+from ..polyhedra.farkas import farkas_nonnegative
+from ..polyhedra.space import CONSTANT_KEY
+from .naming import dependence_difference_templates
+
+__all__ = ["legality_rows", "bounding_rows"]
+
+IlpRow = tuple[dict[str, Fraction], str, Fraction]
+
+
+def legality_rows(
+    dependence: Dependence,
+    source: Statement,
+    target: Statement,
+    minimum: Mapping[str, Fraction] | int = 0,
+) -> list[IlpRow]:
+    """Rows enforcing ``phi_target - phi_source >= minimum`` over the dependence.
+
+    ``minimum`` is either an integer (0 for weak legality, 1 for strong
+    satisfaction) or a linear combination of ILP variables (e.g. a Feautrier
+    satisfaction indicator ``{"e_dep": 1}``).
+    """
+    coefficients, constant = dependence_difference_templates(dependence, source, target)
+    constant = dict(constant)
+    if isinstance(minimum, int):
+        if minimum != 0:
+            constant[CONSTANT_KEY] = constant.get(CONSTANT_KEY, Fraction(0)) - minimum
+    else:
+        for name, value in minimum.items():
+            if name == CONSTANT_KEY:
+                constant[CONSTANT_KEY] = constant.get(CONSTANT_KEY, Fraction(0)) - value
+            else:
+                constant[name] = constant.get(name, Fraction(0)) - value
+    result = farkas_nonnegative(dependence.polyhedron, coefficients, constant)
+    return result.as_rows()
+
+
+def bounding_rows(
+    dependence: Dependence,
+    source: Statement,
+    target: Statement,
+    parameter_bound_variables: Mapping[str, str],
+    constant_bound_variable: str,
+) -> list[IlpRow]:
+    """Rows enforcing ``u . N + w - (phi_target - phi_source) >= 0`` over the dependence.
+
+    ``parameter_bound_variables`` maps each parameter name to its ``u`` ILP
+    variable; ``constant_bound_variable`` is the ``w`` ILP variable.
+    """
+    coefficients, constant = dependence_difference_templates(dependence, source, target)
+    negated: dict[str, dict[str, Fraction]] = {
+        dimension: {name: -value for name, value in combination.items()}
+        for dimension, combination in coefficients.items()
+    }
+    for parameter, bound_variable in parameter_bound_variables.items():
+        if parameter in dependence.polyhedron.space.parameters:
+            entry = negated.setdefault(parameter, {})
+            entry[bound_variable] = entry.get(bound_variable, Fraction(0)) + 1
+    negated_constant = {name: -value for name, value in constant.items()}
+    negated_constant[constant_bound_variable] = (
+        negated_constant.get(constant_bound_variable, Fraction(0)) + 1
+    )
+    result = farkas_nonnegative(dependence.polyhedron, negated, negated_constant)
+    return result.as_rows()

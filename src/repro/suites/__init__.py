@@ -1,0 +1,37 @@
+"""Workload suites: PolyBench, MindSpore custom operators and PolyMage pipelines."""
+
+from . import polybench
+from .custom_ops import (
+    CUSTOM_OPERATORS,
+    TABLE1_CASES,
+    build_case,
+    lu_decomp,
+    trsm_l_off_diag,
+    trsm_u_transpose,
+)
+from .polymage import (
+    POLYMAGE_PIPELINES,
+    build_pipeline,
+    camera_pipe,
+    harris,
+    interpolate,
+    pyramid_blending,
+    unsharp_mask,
+)
+
+__all__ = [
+    "polybench",
+    "CUSTOM_OPERATORS",
+    "TABLE1_CASES",
+    "build_case",
+    "lu_decomp",
+    "trsm_l_off_diag",
+    "trsm_u_transpose",
+    "POLYMAGE_PIPELINES",
+    "build_pipeline",
+    "camera_pipe",
+    "harris",
+    "interpolate",
+    "pyramid_blending",
+    "unsharp_mask",
+]

@@ -1,0 +1,135 @@
+"""MindSpore hybrid custom operators used in Table I of the paper.
+
+Three operators are evaluated on the Ascend 910 NPU:
+
+* ``lu_decomp``        — a 16x16 blocked LU decomposition step,
+* ``trsm_l_off_diag``  — the off-diagonal update of a lower triangular solve
+  (the paper's Listing 4), for growing right-hand-side widths,
+* ``trsm_u_transpose`` — the transposed upper-triangular solve update.
+
+The kernels are written exactly like the paper's Listing 4 input: the
+vectorisable dimension is the innermost contiguous axis, and the directives
+passed through AKG correspond to the ``vectorize``/``parallel`` directives of
+the PolyTOPS configuration used in the Table I experiment.
+"""
+
+from __future__ import annotations
+
+from ..model import Scop, ScopBuilder
+
+__all__ = [
+    "lu_decomp",
+    "trsm_l_off_diag",
+    "trsm_u_transpose",
+    "CUSTOM_OPERATORS",
+    "TABLE1_CASES",
+    "build_case",
+]
+
+
+def lu_decomp(n: int = 16) -> Scop:
+    """Dense LU decomposition of an ``n x n`` tile (no pivoting)."""
+    b = ScopBuilder("lu_decomp", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("A", N, N)
+    with b.loop("k", 0, N) as k:
+        with b.loop("i", k + 1, N) as i:
+            b.statement(
+                writes=[("A", [i, k])],
+                reads=[("A", [i, k]), ("A", [k, k])],
+                text="A[i][k] /= A[k][k];",
+            )
+            with b.loop("j", k + 1, N) as j:
+                b.statement(
+                    writes=[("A", [i, j])],
+                    reads=[("A", [i, j]), ("A", [i, k]), ("A", [k, j])],
+                    text="A[i][j] -= A[i][k] * A[k][j];",
+                )
+    return b.build()
+
+
+def trsm_l_off_diag(rows: int = 16, blocks: int = 1, lanes: int = 16) -> Scop:
+    """The paper's Listing 4 operator (``trsmL off diag``).
+
+    ``rows`` is the number of rows of the triangular factor, ``blocks`` the
+    number of 16-lane column blocks of the right-hand side (the paper's sizes
+    16x16xW correspond to ``blocks = W // 16``), ``lanes`` the vector width of
+    a block (16 on the Ascend vector unit).
+    """
+    b = ScopBuilder("trsmL_off_diag", parameters={"ROW": rows, "BLOCKS": blocks})
+    ROW, BLOCKS = b.parameters("ROW", "BLOCKS")
+    b.array("a", ROW, ROW)
+    b.array("b", ROW, BLOCKS * lanes)
+    b.array("inverse0", ROW, BLOCKS * lanes)
+    with b.loop("i", 0, ROW) as i:
+        with b.loop("j", 0, i) as j:
+            with b.loop("l", 0, BLOCKS) as l:
+                with b.loop("k", 0, lanes) as k:
+                    b.statement(
+                        writes=[("inverse0", [i, l * lanes + k])],
+                        reads=[("a", [i, j]), ("b", [j, l * lanes + k])],
+                        text="inverse0[i][l*16+k] = a[i][j] * b[j][l*16+k];",
+                    )
+                    b.statement(
+                        writes=[("b", [i, l * lanes + k])],
+                        reads=[("b", [i, l * lanes + k]), ("inverse0", [i, l * lanes + k])],
+                        text="b[i][l*16+k] -= inverse0[i][l*16+k];",
+                    )
+    return b.build()
+
+
+def trsm_u_transpose(rows: int = 16, cols: int = 16, lanes: int = 16) -> Scop:
+    """Transposed upper-triangular solve update (``trsmU transpose``)."""
+    b = ScopBuilder("trsmU_transpose", parameters={"ROW": rows, "COL": cols})
+    ROW, COL = b.parameters("ROW", "COL")
+    b.array("u", ROW, ROW)
+    b.array("bt", COL, ROW)
+    b.array("x", COL, ROW)
+    b.array("acc", COL, ROW)
+    with b.loop("c", 0, COL) as c:
+        with b.loop("i", 0, ROW) as i:
+            b.statement(writes=[("acc", [c, i])], reads=[("bt", [c, i])], text="acc[c][i] = bt[c][i];")
+            with b.loop("j", 0, i) as j:
+                b.statement(
+                    writes=[("acc", [c, i])],
+                    reads=[("acc", [c, i]), ("u", [j, i]), ("x", [c, j])],
+                    text="acc[c][i] -= u[j][i] * x[c][j];",
+                )
+            b.statement(
+                writes=[("x", [c, i])],
+                reads=[("acc", [c, i]), ("u", [i, i])],
+                text="x[c][i] = acc[c][i] / u[i][i];",
+            )
+    return b.build()
+
+
+#: Operator registry by name.
+CUSTOM_OPERATORS = {
+    "lu_decomp": lu_decomp,
+    "trsmL_off_diag": trsm_l_off_diag,
+    "trsmU_transpose": trsm_u_transpose,
+}
+
+#: The (operator, size label, factory arguments) rows of Table I.  Sizes follow
+#: the paper: LU on a 16x16 tile, trsmL on 16x16x{16..112}, trsmU on
+#: 16x{16..112}x16.  The width axis is scaled to blocks of 16 lanes.
+TABLE1_CASES: list[tuple[str, str, dict[str, int]]] = [
+    ("lu_decomp", "16x16", {"n": 16}),
+    *[
+        ("trsmL_off_diag", f"16x16x{width}", {"rows": 16, "blocks": width // 16, "lanes": 16})
+        for width in (16, 32, 48, 64, 80, 96, 112)
+    ],
+    *[
+        ("trsmU_transpose", f"16x{width}x16", {"rows": 16, "cols": width, "lanes": 16})
+        for width in (16, 32, 48, 64, 80, 96, 112)
+    ],
+]
+
+
+def build_case(operator: str, **arguments: int) -> Scop:
+    """Instantiate one custom operator."""
+    if operator not in CUSTOM_OPERATORS:
+        raise KeyError(
+            f"unknown custom operator {operator!r}; known: {sorted(CUSTOM_OPERATORS)}"
+        )
+    return CUSTOM_OPERATORS[operator](**arguments)

@@ -1,0 +1,386 @@
+"""PolyBench linear-algebra (BLAS-like) kernels.
+
+Each function builds the kernel as a :class:`~repro.model.Scop` with the same
+loop structure, access pattern and textual order as the PolyBench/C 4.2
+reference implementation; problem sizes default to small datasets so the
+pure-Python executor and cache simulator stay fast.  Statement bodies use the
+builder's surrogate computation (a deterministic function of the declared
+reads), which is sufficient for legality validation and trace collection.
+"""
+
+from __future__ import annotations
+
+from ...model import Scop, ScopBuilder
+
+__all__ = [
+    "gemm",
+    "gemver",
+    "gesummv",
+    "symm",
+    "syrk",
+    "syr2k",
+    "trmm",
+    "atax",
+    "bicg",
+    "mvt",
+    "two_mm",
+    "three_mm",
+    "doitgen",
+]
+
+
+def gemm(ni: int = 24, nj: int = 24, nk: int = 24) -> Scop:
+    """C = alpha*A*B + beta*C."""
+    b = ScopBuilder("gemm", parameters={"NI": ni, "NJ": nj, "NK": nk})
+    NI, NJ, NK = b.parameters("NI", "NJ", "NK")
+    b.array("C", NI, NJ)
+    b.array("A", NI, NK)
+    b.array("B", NK, NJ)
+    with b.loop("i", 0, NI) as i:
+        with b.loop("j", 0, NJ) as j:
+            b.statement(writes=[("C", [i, j])], reads=[("C", [i, j])], text="C[i][j] *= beta;")
+            with b.loop("k", 0, NK) as k:
+                b.statement(
+                    writes=[("C", [i, j])],
+                    reads=[("C", [i, j]), ("A", [i, k]), ("B", [k, j])],
+                    text="C[i][j] += alpha * A[i][k] * B[k][j];",
+                )
+    return b.build()
+
+
+def gemver(n: int = 40) -> Scop:
+    """The gemver kernel: A_hat = A + u1*v1 + u2*v2; x = beta*A_hat^T*y + z; w = alpha*A_hat*x."""
+    b = ScopBuilder("gemver", parameters={"N": n})
+    (N,) = b.parameters("N")
+    for name in ("A", ):
+        b.array(name, N, N)
+    for name in ("u1", "v1", "u2", "v2", "x", "y", "z", "w"):
+        b.array(name, N)
+    with b.loop("i", 0, N) as i:
+        with b.loop("j", 0, N) as j:
+            b.statement(
+                writes=[("A", [i, j])],
+                reads=[("A", [i, j]), ("u1", [i]), ("v1", [j]), ("u2", [i]), ("v2", [j])],
+                text="A[i][j] += u1[i]*v1[j] + u2[i]*v2[j];",
+            )
+    with b.loop("i2", 0, N) as i2:
+        with b.loop("j2", 0, N) as j2:
+            b.statement(
+                writes=[("x", [i2])],
+                reads=[("x", [i2]), ("A", [j2, i2]), ("y", [j2])],
+                text="x[i] += beta * A[j][i] * y[j];",
+            )
+    with b.loop("i3", 0, N) as i3:
+        b.statement(writes=[("x", [i3])], reads=[("x", [i3]), ("z", [i3])], text="x[i] += z[i];")
+    with b.loop("i4", 0, N) as i4:
+        with b.loop("j4", 0, N) as j4:
+            b.statement(
+                writes=[("w", [i4])],
+                reads=[("w", [i4]), ("A", [i4, j4]), ("x", [j4])],
+                text="w[i] += alpha * A[i][j] * x[j];",
+            )
+    return b.build()
+
+
+def gesummv(n: int = 40) -> Scop:
+    """y = alpha*A*x + beta*B*x."""
+    b = ScopBuilder("gesummv", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("A", N, N)
+    b.array("B", N, N)
+    for name in ("x", "y", "tmp"):
+        b.array(name, N)
+    with b.loop("i", 0, N) as i:
+        b.statement(writes=[("tmp", [i])], reads=[], text="tmp[i] = 0;")
+        b.statement(writes=[("y", [i])], reads=[], text="y[i] = 0;")
+        with b.loop("j", 0, N) as j:
+            b.statement(
+                writes=[("tmp", [i])],
+                reads=[("tmp", [i]), ("A", [i, j]), ("x", [j])],
+                text="tmp[i] += A[i][j] * x[j];",
+            )
+            b.statement(
+                writes=[("y", [i])],
+                reads=[("y", [i]), ("B", [i, j]), ("x", [j])],
+                text="y[i] += B[i][j] * x[j];",
+            )
+        b.statement(
+            writes=[("y", [i])],
+            reads=[("tmp", [i]), ("y", [i])],
+            text="y[i] = alpha*tmp[i] + beta*y[i];",
+        )
+    return b.build()
+
+
+def symm(m: int = 24, n: int = 24) -> Scop:
+    """Symmetric matrix multiply: C = alpha*A*B + beta*C with A symmetric."""
+    b = ScopBuilder("symm", parameters={"M": m, "N": n})
+    M, N = b.parameters("M", "N")
+    b.array("C", M, N)
+    b.array("A", M, M)
+    b.array("B", M, N)
+    b.array("temp2")
+    with b.loop("i", 0, M) as i:
+        with b.loop("j", 0, N) as j:
+            b.statement(writes=[("temp2", [])], reads=[], text="temp2 = 0;")
+            with b.loop("k", 0, i) as k:
+                b.statement(
+                    writes=[("C", [k, j])],
+                    reads=[("C", [k, j]), ("B", [i, j]), ("A", [i, k])],
+                    text="C[k][j] += alpha * B[i][j] * A[i][k];",
+                )
+                b.statement(
+                    writes=[("temp2", [])],
+                    reads=[("temp2", []), ("B", [k, j]), ("A", [i, k])],
+                    text="temp2 += B[k][j] * A[i][k];",
+                )
+            b.statement(
+                writes=[("C", [i, j])],
+                reads=[("C", [i, j]), ("B", [i, j]), ("A", [i, i]), ("temp2", [])],
+                text="C[i][j] = beta*C[i][j] + alpha*B[i][j]*A[i][i] + alpha*temp2;",
+            )
+    return b.build()
+
+
+def syrk(n: int = 24, m: int = 24) -> Scop:
+    """Symmetric rank-k update: C = alpha*A*A^T + beta*C (lower triangle)."""
+    b = ScopBuilder("syrk", parameters={"N": n, "M": m})
+    N, M = b.parameters("N", "M")
+    b.array("C", N, N)
+    b.array("A", N, M)
+    with b.loop("i", 0, N) as i:
+        with b.loop("j", 0, i + 1) as j:
+            b.statement(writes=[("C", [i, j])], reads=[("C", [i, j])], text="C[i][j] *= beta;")
+        with b.loop("k", 0, M) as k:
+            with b.loop("j2", 0, i + 1) as j2:
+                b.statement(
+                    writes=[("C", [i, j2])],
+                    reads=[("C", [i, j2]), ("A", [i, k]), ("A", [j2, k])],
+                    text="C[i][j] += alpha * A[i][k] * A[j][k];",
+                )
+    return b.build()
+
+
+def syr2k(n: int = 24, m: int = 24) -> Scop:
+    """Symmetric rank-2k update."""
+    b = ScopBuilder("syr2k", parameters={"N": n, "M": m})
+    N, M = b.parameters("N", "M")
+    b.array("C", N, N)
+    b.array("A", N, M)
+    b.array("B", N, M)
+    with b.loop("i", 0, N) as i:
+        with b.loop("j", 0, i + 1) as j:
+            b.statement(writes=[("C", [i, j])], reads=[("C", [i, j])], text="C[i][j] *= beta;")
+        with b.loop("k", 0, M) as k:
+            with b.loop("j2", 0, i + 1) as j2:
+                b.statement(
+                    writes=[("C", [i, j2])],
+                    reads=[
+                        ("C", [i, j2]),
+                        ("A", [j2, k]),
+                        ("B", [i, k]),
+                        ("A", [i, k]),
+                        ("B", [j2, k]),
+                    ],
+                    text="C[i][j] += A[j][k]*alpha*B[i][k] + B[j][k]*alpha*A[i][k];",
+                )
+    return b.build()
+
+
+def trmm(m: int = 24, n: int = 24) -> Scop:
+    """Triangular matrix multiply: B = alpha*A*B with A lower triangular."""
+    b = ScopBuilder("trmm", parameters={"M": m, "N": n})
+    M, N = b.parameters("M", "N")
+    b.array("A", M, M)
+    b.array("B", M, N)
+    with b.loop("i", 0, M) as i:
+        with b.loop("j", 0, N) as j:
+            with b.loop("k", i + 1, M) as k:
+                b.statement(
+                    writes=[("B", [i, j])],
+                    reads=[("B", [i, j]), ("A", [k, i]), ("B", [k, j])],
+                    text="B[i][j] += A[k][i] * B[k][j];",
+                )
+            b.statement(
+                writes=[("B", [i, j])], reads=[("B", [i, j])], text="B[i][j] = alpha * B[i][j];"
+            )
+    return b.build()
+
+
+def atax(m: int = 38, n: int = 42) -> Scop:
+    """y = A^T (A x)."""
+    b = ScopBuilder("atax", parameters={"M": m, "N": n})
+    M, N = b.parameters("M", "N")
+    b.array("A", M, N)
+    b.array("x", N)
+    b.array("y", N)
+    b.array("tmp", M)
+    with b.loop("i0", 0, N) as i0:
+        b.statement(writes=[("y", [i0])], reads=[], text="y[i] = 0;")
+    with b.loop("i", 0, M) as i:
+        b.statement(writes=[("tmp", [i])], reads=[], text="tmp[i] = 0;")
+        with b.loop("j", 0, N) as j:
+            b.statement(
+                writes=[("tmp", [i])],
+                reads=[("tmp", [i]), ("A", [i, j]), ("x", [j])],
+                text="tmp[i] += A[i][j] * x[j];",
+            )
+        with b.loop("j2", 0, N) as j2:
+            b.statement(
+                writes=[("y", [j2])],
+                reads=[("y", [j2]), ("A", [i, j2]), ("tmp", [i])],
+                text="y[j] += A[i][j] * tmp[i];",
+            )
+    return b.build()
+
+
+def bicg(m: int = 38, n: int = 42) -> Scop:
+    """BiCG sub-kernel: s = A^T r, q = A p."""
+    b = ScopBuilder("bicg", parameters={"N": n, "M": m})
+    N, M = b.parameters("N", "M")
+    b.array("A", N, M)
+    b.array("s", M)
+    b.array("q", N)
+    b.array("p", M)
+    b.array("r", N)
+    with b.loop("i0", 0, M) as i0:
+        b.statement(writes=[("s", [i0])], reads=[], text="s[i] = 0;")
+    with b.loop("i", 0, N) as i:
+        b.statement(writes=[("q", [i])], reads=[], text="q[i] = 0;")
+        with b.loop("j", 0, M) as j:
+            b.statement(
+                writes=[("s", [j])],
+                reads=[("s", [j]), ("r", [i]), ("A", [i, j])],
+                text="s[j] += r[i] * A[i][j];",
+            )
+            b.statement(
+                writes=[("q", [i])],
+                reads=[("q", [i]), ("A", [i, j]), ("p", [j])],
+                text="q[i] += A[i][j] * p[j];",
+            )
+    return b.build()
+
+
+def mvt(n: int = 40) -> Scop:
+    """Two matrix-vector products: x1 += A*y1, x2 += A^T*y2."""
+    b = ScopBuilder("mvt", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("A", N, N)
+    for name in ("x1", "x2", "y1", "y2"):
+        b.array(name, N)
+    with b.loop("i", 0, N) as i:
+        with b.loop("j", 0, N) as j:
+            b.statement(
+                writes=[("x1", [i])],
+                reads=[("x1", [i]), ("A", [i, j]), ("y1", [j])],
+                text="x1[i] += A[i][j] * y1[j];",
+            )
+    with b.loop("i2", 0, N) as i2:
+        with b.loop("j2", 0, N) as j2:
+            b.statement(
+                writes=[("x2", [i2])],
+                reads=[("x2", [i2]), ("A", [j2, i2]), ("y2", [j2])],
+                text="x2[i] += A[j][i] * y2[j];",
+            )
+    return b.build()
+
+
+def two_mm(ni: int = 20, nj: int = 20, nk: int = 20, nl: int = 20) -> Scop:
+    """D = alpha*A*B*C + beta*D (two chained matrix products)."""
+    b = ScopBuilder("2mm", parameters={"NI": ni, "NJ": nj, "NK": nk, "NL": nl})
+    NI, NJ, NK, NL = b.parameters("NI", "NJ", "NK", "NL")
+    b.array("tmp", NI, NJ)
+    b.array("A", NI, NK)
+    b.array("B", NK, NJ)
+    b.array("C", NJ, NL)
+    b.array("D", NI, NL)
+    with b.loop("i", 0, NI) as i:
+        with b.loop("j", 0, NJ) as j:
+            b.statement(writes=[("tmp", [i, j])], reads=[], text="tmp[i][j] = 0;")
+            with b.loop("k", 0, NK) as k:
+                b.statement(
+                    writes=[("tmp", [i, j])],
+                    reads=[("tmp", [i, j]), ("A", [i, k]), ("B", [k, j])],
+                    text="tmp[i][j] += alpha * A[i][k] * B[k][j];",
+                )
+    with b.loop("i2", 0, NI) as i2:
+        with b.loop("j2", 0, NL) as j2:
+            b.statement(
+                writes=[("D", [i2, j2])], reads=[("D", [i2, j2])], text="D[i][j] *= beta;"
+            )
+            with b.loop("k2", 0, NJ) as k2:
+                b.statement(
+                    writes=[("D", [i2, j2])],
+                    reads=[("D", [i2, j2]), ("tmp", [i2, k2]), ("C", [k2, j2])],
+                    text="D[i][j] += tmp[i][k] * C[k][j];",
+                )
+    return b.build()
+
+
+def three_mm(ni: int = 18, nj: int = 18, nk: int = 18, nl: int = 18, nm: int = 18) -> Scop:
+    """G = (A*B) * (C*D) (three matrix products)."""
+    b = ScopBuilder(
+        "3mm", parameters={"NI": ni, "NJ": nj, "NK": nk, "NL": nl, "NM": nm}
+    )
+    NI, NJ, NK, NL, NM = b.parameters("NI", "NJ", "NK", "NL", "NM")
+    b.array("E", NI, NJ)
+    b.array("A", NI, NK)
+    b.array("B", NK, NJ)
+    b.array("F", NJ, NL)
+    b.array("C", NJ, NM)
+    b.array("D", NM, NL)
+    b.array("G", NI, NL)
+    with b.loop("i", 0, NI) as i:
+        with b.loop("j", 0, NJ) as j:
+            b.statement(writes=[("E", [i, j])], reads=[], text="E[i][j] = 0;")
+            with b.loop("k", 0, NK) as k:
+                b.statement(
+                    writes=[("E", [i, j])],
+                    reads=[("E", [i, j]), ("A", [i, k]), ("B", [k, j])],
+                    text="E[i][j] += A[i][k] * B[k][j];",
+                )
+    with b.loop("i2", 0, NJ) as i2:
+        with b.loop("j2", 0, NL) as j2:
+            b.statement(writes=[("F", [i2, j2])], reads=[], text="F[i][j] = 0;")
+            with b.loop("k2", 0, NM) as k2:
+                b.statement(
+                    writes=[("F", [i2, j2])],
+                    reads=[("F", [i2, j2]), ("C", [i2, k2]), ("D", [k2, j2])],
+                    text="F[i][j] += C[i][k] * D[k][j];",
+                )
+    with b.loop("i3", 0, NI) as i3:
+        with b.loop("j3", 0, NL) as j3:
+            b.statement(writes=[("G", [i3, j3])], reads=[], text="G[i][j] = 0;")
+            with b.loop("k3", 0, NJ) as k3:
+                b.statement(
+                    writes=[("G", [i3, j3])],
+                    reads=[("G", [i3, j3]), ("E", [i3, k3]), ("F", [k3, j3])],
+                    text="G[i][j] += E[i][k] * F[k][j];",
+                )
+    return b.build()
+
+
+def doitgen(nq: int = 16, nr: int = 16, np_: int = 16) -> Scop:
+    """Multi-resolution analysis kernel: A[r][q][p] = sum_s A[r][q][s] * C4[s][p]."""
+    b = ScopBuilder("doitgen", parameters={"NR": nr, "NQ": nq, "NP": np_})
+    NR, NQ, NP = b.parameters("NR", "NQ", "NP")
+    b.array("A", NR, NQ, NP)
+    b.array("C4", NP, NP)
+    b.array("sum", NP)
+    with b.loop("r", 0, NR) as r:
+        with b.loop("q", 0, NQ) as q:
+            with b.loop("p", 0, NP) as p:
+                b.statement(writes=[("sum", [p])], reads=[], text="sum[p] = 0;")
+                with b.loop("s", 0, NP) as s:
+                    b.statement(
+                        writes=[("sum", [p])],
+                        reads=[("sum", [p]), ("A", [r, q, s]), ("C4", [s, p])],
+                        text="sum[p] += A[r][q][s] * C4[s][p];",
+                    )
+            with b.loop("p2", 0, NP) as p2:
+                b.statement(
+                    writes=[("A", [r, q, p2])],
+                    reads=[("sum", [p2])],
+                    text="A[r][q][p] = sum[p];",
+                )
+    return b.build()

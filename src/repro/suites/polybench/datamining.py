@@ -1,0 +1,110 @@
+"""PolyBench data-mining kernels (correlation and covariance)."""
+
+from __future__ import annotations
+
+from ...model import Scop, ScopBuilder
+
+__all__ = ["correlation", "covariance"]
+
+
+def covariance(m: int = 20, n: int = 24) -> Scop:
+    """Covariance matrix of a data set (M variables, N observations)."""
+    b = ScopBuilder("covariance", parameters={"M": m, "N": n})
+    M, N = b.parameters("M", "N")
+    b.array("data", N, M)
+    b.array("mean", M)
+    b.array("cov", M, M)
+    with b.loop("j", 0, M) as j:
+        b.statement(writes=[("mean", [j])], reads=[], text="mean[j] = 0;")
+        with b.loop("i", 0, N) as i:
+            b.statement(
+                writes=[("mean", [j])],
+                reads=[("mean", [j]), ("data", [i, j])],
+                text="mean[j] += data[i][j];",
+            )
+        b.statement(
+            writes=[("mean", [j])], reads=[("mean", [j])], text="mean[j] /= float_n;"
+        )
+    with b.loop("i2", 0, N) as i2:
+        with b.loop("j2", 0, M) as j2:
+            b.statement(
+                writes=[("data", [i2, j2])],
+                reads=[("data", [i2, j2]), ("mean", [j2])],
+                text="data[i][j] -= mean[j];",
+            )
+    with b.loop("i3", 0, M) as i3:
+        with b.loop("j3", i3, M) as j3:
+            b.statement(writes=[("cov", [i3, j3])], reads=[], text="cov[i][j] = 0;")
+            with b.loop("k", 0, N) as k:
+                b.statement(
+                    writes=[("cov", [i3, j3])],
+                    reads=[("cov", [i3, j3]), ("data", [k, i3]), ("data", [k, j3])],
+                    text="cov[i][j] += data[k][i] * data[k][j];",
+                )
+            b.statement(
+                writes=[("cov", [i3, j3])],
+                reads=[("cov", [i3, j3])],
+                text="cov[i][j] /= (float_n - 1);",
+            )
+            b.statement(
+                writes=[("cov", [j3, i3])],
+                reads=[("cov", [i3, j3])],
+                text="cov[j][i] = cov[i][j];",
+            )
+    return b.build()
+
+
+def correlation(m: int = 20, n: int = 24) -> Scop:
+    """Correlation matrix of a data set (M variables, N observations)."""
+    b = ScopBuilder("correlation", parameters={"M": m, "N": n})
+    M, N = b.parameters("M", "N")
+    b.array("data", N, M)
+    b.array("mean", M)
+    b.array("stddev", M)
+    b.array("corr", M, M)
+    with b.loop("j", 0, M) as j:
+        b.statement(writes=[("mean", [j])], reads=[], text="mean[j] = 0;")
+        with b.loop("i", 0, N) as i:
+            b.statement(
+                writes=[("mean", [j])],
+                reads=[("mean", [j]), ("data", [i, j])],
+                text="mean[j] += data[i][j];",
+            )
+        b.statement(writes=[("mean", [j])], reads=[("mean", [j])], text="mean[j] /= float_n;")
+    with b.loop("j2", 0, M) as j2:
+        b.statement(writes=[("stddev", [j2])], reads=[], text="stddev[j] = 0;")
+        with b.loop("i2", 0, N) as i2:
+            b.statement(
+                writes=[("stddev", [j2])],
+                reads=[("stddev", [j2]), ("data", [i2, j2]), ("mean", [j2])],
+                text="stddev[j] += (data[i][j] - mean[j])^2;",
+            )
+        b.statement(
+            writes=[("stddev", [j2])],
+            reads=[("stddev", [j2])],
+            text="stddev[j] = sqrt(stddev[j]/float_n) (clamped);",
+        )
+    with b.loop("i3", 0, N) as i3:
+        with b.loop("j3", 0, M) as j3:
+            b.statement(
+                writes=[("data", [i3, j3])],
+                reads=[("data", [i3, j3]), ("mean", [j3]), ("stddev", [j3])],
+                text="data[i][j] = (data[i][j] - mean[j]) / (sqrt(float_n)*stddev[j]);",
+            )
+    with b.loop("i4", 0, M - 1) as i4:
+        b.statement(writes=[("corr", [i4, i4])], reads=[], text="corr[i][i] = 1;")
+        with b.loop("j4", i4 + 1, M) as j4:
+            b.statement(writes=[("corr", [i4, j4])], reads=[], text="corr[i][j] = 0;")
+            with b.loop("k", 0, N) as k:
+                b.statement(
+                    writes=[("corr", [i4, j4])],
+                    reads=[("corr", [i4, j4]), ("data", [k, i4]), ("data", [k, j4])],
+                    text="corr[i][j] += data[k][i] * data[k][j];",
+                )
+            b.statement(
+                writes=[("corr", [j4, i4])],
+                reads=[("corr", [i4, j4])],
+                text="corr[j][i] = corr[i][j];",
+            )
+    b.statement(writes=[("corr", [M - 1, M - 1])], reads=[], text="corr[M-1][M-1] = 1;")
+    return b.build()

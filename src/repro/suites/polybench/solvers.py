@@ -1,0 +1,167 @@
+"""PolyBench linear-system solver and decomposition kernels."""
+
+from __future__ import annotations
+
+from ...model import Scop, ScopBuilder
+
+__all__ = ["cholesky", "lu", "trisolv", "durbin", "gramschmidt"]
+
+
+def cholesky(n: int = 24) -> Scop:
+    """In-place Cholesky decomposition (lower triangle)."""
+    b = ScopBuilder("cholesky", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("A", N, N)
+    with b.loop("i", 0, N) as i:
+        with b.loop("j", 0, i) as j:
+            with b.loop("k", 0, j) as k:
+                b.statement(
+                    writes=[("A", [i, j])],
+                    reads=[("A", [i, j]), ("A", [i, k]), ("A", [j, k])],
+                    text="A[i][j] -= A[i][k] * A[j][k];",
+                )
+            b.statement(
+                writes=[("A", [i, j])],
+                reads=[("A", [i, j]), ("A", [j, j])],
+                text="A[i][j] /= A[j][j];",
+            )
+        with b.loop("k2", 0, i) as k2:
+            b.statement(
+                writes=[("A", [i, i])],
+                reads=[("A", [i, i]), ("A", [i, k2])],
+                text="A[i][i] -= A[i][k] * A[i][k];",
+            )
+        b.statement(writes=[("A", [i, i])], reads=[("A", [i, i])], text="A[i][i] = sqrt(A[i][i]);")
+    return b.build()
+
+
+def lu(n: int = 24) -> Scop:
+    """In-place LU decomposition without pivoting."""
+    b = ScopBuilder("lu", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("A", N, N)
+    with b.loop("i", 0, N) as i:
+        with b.loop("j", 0, i) as j:
+            with b.loop("k", 0, j) as k:
+                b.statement(
+                    writes=[("A", [i, j])],
+                    reads=[("A", [i, j]), ("A", [i, k]), ("A", [k, j])],
+                    text="A[i][j] -= A[i][k] * A[k][j];",
+                )
+            b.statement(
+                writes=[("A", [i, j])],
+                reads=[("A", [i, j]), ("A", [j, j])],
+                text="A[i][j] /= A[j][j];",
+            )
+        with b.loop("j2", i, N) as j2:
+            with b.loop("k2", 0, i) as k2:
+                b.statement(
+                    writes=[("A", [i, j2])],
+                    reads=[("A", [i, j2]), ("A", [i, k2]), ("A", [k2, j2])],
+                    text="A[i][j] -= A[i][k] * A[k][j];",
+                )
+    return b.build()
+
+
+def trisolv(n: int = 40) -> Scop:
+    """Forward substitution for a lower-triangular system L x = b."""
+    b = ScopBuilder("trisolv", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("L", N, N)
+    b.array("x", N)
+    b.array("b", N)
+    with b.loop("i", 0, N) as i:
+        b.statement(writes=[("x", [i])], reads=[("b", [i])], text="x[i] = b[i];")
+        with b.loop("j", 0, i) as j:
+            b.statement(
+                writes=[("x", [i])],
+                reads=[("x", [i]), ("L", [i, j]), ("x", [j])],
+                text="x[i] -= L[i][j] * x[j];",
+            )
+        b.statement(
+            writes=[("x", [i])], reads=[("x", [i]), ("L", [i, i])], text="x[i] /= L[i][i];"
+        )
+    return b.build()
+
+
+def durbin(n: int = 40) -> Scop:
+    """Levinson-Durbin recursion (simplified affine version).
+
+    The PolyBench kernel carries two scalars (alpha, beta) across the outer
+    ``k`` loop and updates the solution vector ``y`` with a temporary ``z``;
+    the data-dependent divisions are kept as opaque operations so the loop
+    structure and dependence pattern match the original.
+    """
+    b = ScopBuilder("durbin", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("r", N)
+    b.array("y", N)
+    b.array("z", N)
+    b.array("alpha")
+    b.array("beta")
+    b.array("summ")
+    with b.loop("k", 1, N) as k:
+        b.statement(writes=[("beta", [])], reads=[("beta", []), ("alpha", [])],
+                    text="beta = (1 - alpha*alpha) * beta;")
+        b.statement(writes=[("summ", [])], reads=[], text="sum = 0;")
+        with b.loop("i", 0, k) as i:
+            b.statement(
+                writes=[("summ", [])],
+                reads=[("summ", []), ("r", [k - i - 1]), ("y", [i])],
+                text="sum += r[k-i-1] * y[i];",
+            )
+        b.statement(
+            writes=[("alpha", [])],
+            reads=[("r", [k]), ("summ", []), ("beta", [])],
+            text="alpha = -(r[k] + sum) / beta;",
+        )
+        with b.loop("i2", 0, k) as i2:
+            b.statement(
+                writes=[("z", [i2])],
+                reads=[("y", [i2]), ("alpha", []), ("y", [k - i2 - 1])],
+                text="z[i] = y[i] + alpha*y[k-i-1];",
+            )
+        with b.loop("i3", 0, k) as i3:
+            b.statement(writes=[("y", [i3])], reads=[("z", [i3])], text="y[i] = z[i];")
+        b.statement(writes=[("y", [k])], reads=[("alpha", [])], text="y[k] = alpha;")
+    return b.build()
+
+
+def gramschmidt(m: int = 24, n: int = 24) -> Scop:
+    """Modified Gram-Schmidt QR decomposition."""
+    b = ScopBuilder("gramschmidt", parameters={"M": m, "N": n})
+    M, N = b.parameters("M", "N")
+    b.array("A", M, N)
+    b.array("R", N, N)
+    b.array("Q", M, N)
+    b.array("nrm")
+    with b.loop("k", 0, N) as k:
+        b.statement(writes=[("nrm", [])], reads=[], text="nrm = 0;")
+        with b.loop("i", 0, M) as i:
+            b.statement(
+                writes=[("nrm", [])],
+                reads=[("nrm", []), ("A", [i, k])],
+                text="nrm += A[i][k] * A[i][k];",
+            )
+        b.statement(writes=[("R", [k, k])], reads=[("nrm", [])], text="R[k][k] = sqrt(nrm);")
+        with b.loop("i2", 0, M) as i2:
+            b.statement(
+                writes=[("Q", [i2, k])],
+                reads=[("A", [i2, k]), ("R", [k, k])],
+                text="Q[i][k] = A[i][k] / R[k][k];",
+            )
+        with b.loop("j", k + 1, N) as j:
+            b.statement(writes=[("R", [k, j])], reads=[], text="R[k][j] = 0;")
+            with b.loop("i3", 0, M) as i3:
+                b.statement(
+                    writes=[("R", [k, j])],
+                    reads=[("R", [k, j]), ("Q", [i3, k]), ("A", [i3, j])],
+                    text="R[k][j] += Q[i][k] * A[i][j];",
+                )
+            with b.loop("i4", 0, M) as i4:
+                b.statement(
+                    writes=[("A", [i4, j])],
+                    reads=[("A", [i4, j]), ("Q", [i4, k]), ("R", [k, j])],
+                    text="A[i][j] -= Q[i][k] * R[k][j];",
+                )
+    return b.build()

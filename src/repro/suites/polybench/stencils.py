@@ -1,0 +1,176 @@
+"""PolyBench stencil kernels."""
+
+from __future__ import annotations
+
+from ...model import Scop, ScopBuilder
+
+__all__ = ["jacobi_1d", "jacobi_2d", "heat_3d", "fdtd_2d", "seidel_2d"]
+
+
+def jacobi_1d(tsteps: int = 20, n: int = 60) -> Scop:
+    """1-D Jacobi: alternate updates of A and B over TSTEPS time steps."""
+    b = ScopBuilder("jacobi-1d", parameters={"TSTEPS": tsteps, "N": n})
+    TSTEPS, N = b.parameters("TSTEPS", "N")
+    b.array("A", N)
+    b.array("B", N)
+    with b.loop("t", 0, TSTEPS) as t:
+        with b.loop("i", 1, N - 1) as i:
+            b.statement(
+                writes=[("B", [i])],
+                reads=[("A", [i - 1]), ("A", [i]), ("A", [i + 1])],
+                text="B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);",
+            )
+        with b.loop("i2", 1, N - 1) as i2:
+            b.statement(
+                writes=[("A", [i2])],
+                reads=[("B", [i2 - 1]), ("B", [i2]), ("B", [i2 + 1])],
+                text="A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1]);",
+            )
+    return b.build()
+
+
+def jacobi_2d(tsteps: int = 10, n: int = 20) -> Scop:
+    """2-D Jacobi five-point stencil."""
+    b = ScopBuilder("jacobi-2d", parameters={"TSTEPS": tsteps, "N": n})
+    TSTEPS, N = b.parameters("TSTEPS", "N")
+    b.array("A", N, N)
+    b.array("B", N, N)
+    with b.loop("t", 0, TSTEPS) as t:
+        with b.loop("i", 1, N - 1) as i:
+            with b.loop("j", 1, N - 1) as j:
+                b.statement(
+                    writes=[("B", [i, j])],
+                    reads=[
+                        ("A", [i, j]),
+                        ("A", [i, j - 1]),
+                        ("A", [i, j + 1]),
+                        ("A", [i + 1, j]),
+                        ("A", [i - 1, j]),
+                    ],
+                    text="B[i][j] = 0.2*(A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);",
+                )
+        with b.loop("i2", 1, N - 1) as i2:
+            with b.loop("j2", 1, N - 1) as j2:
+                b.statement(
+                    writes=[("A", [i2, j2])],
+                    reads=[
+                        ("B", [i2, j2]),
+                        ("B", [i2, j2 - 1]),
+                        ("B", [i2, j2 + 1]),
+                        ("B", [i2 + 1, j2]),
+                        ("B", [i2 - 1, j2]),
+                    ],
+                    text="A[i][j] = 0.2*(B[i][j] + B[i][j-1] + B[i][j+1] + B[i+1][j] + B[i-1][j]);",
+                )
+    return b.build()
+
+
+def heat_3d(tsteps: int = 6, n: int = 10) -> Scop:
+    """3-D heat equation stencil."""
+    b = ScopBuilder("heat-3d", parameters={"TSTEPS": tsteps, "N": n})
+    TSTEPS, N = b.parameters("TSTEPS", "N")
+    b.array("A", N, N, N)
+    b.array("B", N, N, N)
+    with b.loop("t", 0, TSTEPS) as t:
+        with b.loop("i", 1, N - 1) as i:
+            with b.loop("j", 1, N - 1) as j:
+                with b.loop("k", 1, N - 1) as k:
+                    b.statement(
+                        writes=[("B", [i, j, k])],
+                        reads=[
+                            ("A", [i + 1, j, k]),
+                            ("A", [i, j, k]),
+                            ("A", [i - 1, j, k]),
+                            ("A", [i, j + 1, k]),
+                            ("A", [i, j - 1, k]),
+                            ("A", [i, j, k + 1]),
+                            ("A", [i, j, k - 1]),
+                        ],
+                        text="B[i][j][k] = stencil(A, i, j, k);",
+                    )
+        with b.loop("i2", 1, N - 1) as i2:
+            with b.loop("j2", 1, N - 1) as j2:
+                with b.loop("k2", 1, N - 1) as k2:
+                    b.statement(
+                        writes=[("A", [i2, j2, k2])],
+                        reads=[
+                            ("B", [i2 + 1, j2, k2]),
+                            ("B", [i2, j2, k2]),
+                            ("B", [i2 - 1, j2, k2]),
+                            ("B", [i2, j2 + 1, k2]),
+                            ("B", [i2, j2 - 1, k2]),
+                            ("B", [i2, j2, k2 + 1]),
+                            ("B", [i2, j2, k2 - 1]),
+                        ],
+                        text="A[i][j][k] = stencil(B, i, j, k);",
+                    )
+    return b.build()
+
+
+def fdtd_2d(tmax: int = 10, nx: int = 20, ny: int = 20) -> Scop:
+    """2-D finite-difference time-domain kernel."""
+    b = ScopBuilder("fdtd-2d", parameters={"TMAX": tmax, "NX": nx, "NY": ny})
+    TMAX, NX, NY = b.parameters("TMAX", "NX", "NY")
+    b.array("ex", NX, NY)
+    b.array("ey", NX, NY)
+    b.array("hz", NX, NY)
+    b.array("_fict_", TMAX)
+    with b.loop("t", 0, TMAX) as t:
+        with b.loop("j0", 0, NY) as j0:
+            b.statement(
+                writes=[("ey", [0, j0])], reads=[("_fict_", [t])], text="ey[0][j] = _fict_[t];"
+            )
+        with b.loop("i1", 1, NX) as i1:
+            with b.loop("j1", 0, NY) as j1:
+                b.statement(
+                    writes=[("ey", [i1, j1])],
+                    reads=[("ey", [i1, j1]), ("hz", [i1, j1]), ("hz", [i1 - 1, j1])],
+                    text="ey[i][j] -= 0.5*(hz[i][j] - hz[i-1][j]);",
+                )
+        with b.loop("i2", 0, NX) as i2:
+            with b.loop("j2", 1, NY) as j2:
+                b.statement(
+                    writes=[("ex", [i2, j2])],
+                    reads=[("ex", [i2, j2]), ("hz", [i2, j2]), ("hz", [i2, j2 - 1])],
+                    text="ex[i][j] -= 0.5*(hz[i][j] - hz[i][j-1]);",
+                )
+        with b.loop("i3", 0, NX - 1) as i3:
+            with b.loop("j3", 0, NY - 1) as j3:
+                b.statement(
+                    writes=[("hz", [i3, j3])],
+                    reads=[
+                        ("hz", [i3, j3]),
+                        ("ex", [i3, j3 + 1]),
+                        ("ex", [i3, j3]),
+                        ("ey", [i3 + 1, j3]),
+                        ("ey", [i3, j3]),
+                    ],
+                    text="hz[i][j] -= 0.7*(ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);",
+                )
+    return b.build()
+
+
+def seidel_2d(tsteps: int = 6, n: int = 20) -> Scop:
+    """Gauss-Seidel 2-D nine-point in-place stencil."""
+    b = ScopBuilder("seidel-2d", parameters={"TSTEPS": tsteps, "N": n})
+    TSTEPS, N = b.parameters("TSTEPS", "N")
+    b.array("A", N, N)
+    with b.loop("t", 0, TSTEPS) as t:
+        with b.loop("i", 1, N - 1) as i:
+            with b.loop("j", 1, N - 1) as j:
+                b.statement(
+                    writes=[("A", [i, j])],
+                    reads=[
+                        ("A", [i - 1, j - 1]),
+                        ("A", [i - 1, j]),
+                        ("A", [i - 1, j + 1]),
+                        ("A", [i, j - 1]),
+                        ("A", [i, j]),
+                        ("A", [i, j + 1]),
+                        ("A", [i + 1, j - 1]),
+                        ("A", [i + 1, j]),
+                        ("A", [i + 1, j + 1]),
+                    ],
+                    text="A[i][j] = average of the 3x3 neighbourhood;",
+                )
+    return b.build()

@@ -1,0 +1,323 @@
+"""PolyMage image-processing pipelines (Table II of the paper).
+
+The PolyMage benchmark contains multi-stage image-processing pipelines whose
+naive versions are sequences of 2-D loop nests (point-wise stages and small
+stencils).  The versions here are simplified but keep the property that makes
+them interesting for polyhedral scheduling: many statements, low loop
+dimensionality, producer/consumer chains whose fusion drives performance.
+
+The paper reports that several comparison tools cannot process camera-pipe,
+interpolate and pyramid-blending (local variables, modulo/division in
+accesses); the experiment harness reproduces those "n.a." entries.
+"""
+
+from __future__ import annotations
+
+from ..model import Scop, ScopBuilder
+
+__all__ = [
+    "harris",
+    "unsharp_mask",
+    "camera_pipe",
+    "interpolate",
+    "pyramid_blending",
+    "POLYMAGE_PIPELINES",
+    "build_pipeline",
+]
+
+
+def harris(rows: int = 24, cols: int = 24) -> Scop:
+    """Harris corner detection: gradients, products, box blur and response."""
+    b = ScopBuilder("harris", parameters={"R": rows, "C": cols})
+    R, C = b.parameters("R", "C")
+    for name in ("img", "Ix", "Iy", "Ixx", "Ixy", "Iyy", "Sxx", "Sxy", "Syy", "det", "harris"):
+        b.array(name, R, C)
+    with b.loop("i", 1, R - 1) as i:
+        with b.loop("j", 1, C - 1) as j:
+            b.statement(
+                writes=[("Ix", [i, j])],
+                reads=[("img", [i - 1, j - 1]), ("img", [i - 1, j + 1]),
+                       ("img", [i, j - 1]), ("img", [i, j + 1]),
+                       ("img", [i + 1, j - 1]), ("img", [i + 1, j + 1])],
+                text="Ix[i][j] = sobel_x(img, i, j);",
+            )
+            b.statement(
+                writes=[("Iy", [i, j])],
+                reads=[("img", [i - 1, j - 1]), ("img", [i + 1, j - 1]),
+                       ("img", [i - 1, j]), ("img", [i + 1, j]),
+                       ("img", [i - 1, j + 1]), ("img", [i + 1, j + 1])],
+                text="Iy[i][j] = sobel_y(img, i, j);",
+            )
+    with b.loop("i2", 1, R - 1) as i2:
+        with b.loop("j2", 1, C - 1) as j2:
+            b.statement(writes=[("Ixx", [i2, j2])], reads=[("Ix", [i2, j2])], text="Ixx = Ix*Ix;")
+            b.statement(writes=[("Ixy", [i2, j2])], reads=[("Ix", [i2, j2]), ("Iy", [i2, j2])], text="Ixy = Ix*Iy;")
+            b.statement(writes=[("Iyy", [i2, j2])], reads=[("Iy", [i2, j2])], text="Iyy = Iy*Iy;")
+    with b.loop("i3", 2, R - 2) as i3:
+        with b.loop("j3", 2, C - 2) as j3:
+            b.statement(
+                writes=[("Sxx", [i3, j3])],
+                reads=[("Ixx", [i3 - 1, j3 - 1]), ("Ixx", [i3 - 1, j3]), ("Ixx", [i3 - 1, j3 + 1]),
+                       ("Ixx", [i3, j3 - 1]), ("Ixx", [i3, j3]), ("Ixx", [i3, j3 + 1]),
+                       ("Ixx", [i3 + 1, j3 - 1]), ("Ixx", [i3 + 1, j3]), ("Ixx", [i3 + 1, j3 + 1])],
+                text="Sxx[i][j] = box3x3(Ixx, i, j);",
+            )
+            b.statement(
+                writes=[("Sxy", [i3, j3])],
+                reads=[("Ixy", [i3 - 1, j3 - 1]), ("Ixy", [i3, j3]), ("Ixy", [i3 + 1, j3 + 1])],
+                text="Sxy[i][j] = box3x3(Ixy, i, j);",
+            )
+            b.statement(
+                writes=[("Syy", [i3, j3])],
+                reads=[("Iyy", [i3 - 1, j3 - 1]), ("Iyy", [i3, j3]), ("Iyy", [i3 + 1, j3 + 1])],
+                text="Syy[i][j] = box3x3(Iyy, i, j);",
+            )
+    with b.loop("i4", 2, R - 2) as i4:
+        with b.loop("j4", 2, C - 2) as j4:
+            b.statement(
+                writes=[("det", [i4, j4])],
+                reads=[("Sxx", [i4, j4]), ("Syy", [i4, j4]), ("Sxy", [i4, j4])],
+                text="det = Sxx*Syy - Sxy*Sxy;",
+            )
+            b.statement(
+                writes=[("harris", [i4, j4])],
+                reads=[("det", [i4, j4]), ("Sxx", [i4, j4]), ("Syy", [i4, j4])],
+                text="harris = det - 0.04*(Sxx+Syy)^2;",
+            )
+    return b.build()
+
+
+def unsharp_mask(rows: int = 24, cols: int = 24) -> Scop:
+    """Unsharp masking: separable Gaussian blur followed by a sharpening blend."""
+    b = ScopBuilder("unsharp-mask", parameters={"R": rows, "C": cols})
+    R, C = b.parameters("R", "C")
+    for name in ("img", "blurx", "blury", "sharpen"):
+        b.array(name, R, C)
+    with b.loop("i", 1, R - 1) as i:
+        with b.loop("j", 0, C) as j:
+            b.statement(
+                writes=[("blurx", [i, j])],
+                reads=[("img", [i - 1, j]), ("img", [i, j]), ("img", [i + 1, j])],
+                text="blurx[i][j] = gauss_x(img, i, j);",
+            )
+    with b.loop("i2", 1, R - 1) as i2:
+        with b.loop("j2", 1, C - 1) as j2:
+            b.statement(
+                writes=[("blury", [i2, j2])],
+                reads=[("blurx", [i2, j2 - 1]), ("blurx", [i2, j2]), ("blurx", [i2, j2 + 1])],
+                text="blury[i][j] = gauss_y(blurx, i, j);",
+            )
+    with b.loop("i3", 1, R - 1) as i3:
+        with b.loop("j3", 1, C - 1) as j3:
+            b.statement(
+                writes=[("sharpen", [i3, j3])],
+                reads=[("img", [i3, j3]), ("blury", [i3, j3])],
+                text="sharpen[i][j] = img[i][j] + w*(img[i][j] - blury[i][j]);",
+            )
+    return b.build()
+
+
+def camera_pipe(rows: int = 24, cols: int = 24) -> Scop:
+    """A simplified camera pipeline: demosaic (2x2 pattern), colour correction, curve.
+
+    The demosaicing stage addresses the Bayer pattern through a half-resolution
+    grid (the PolyMage original uses modulo/division in subscripts; here the
+    half-resolution iteration space plays that role, preserving the many-stage,
+    low-dimensionality structure that makes fusion decisions interesting).
+    """
+    b = ScopBuilder("camera-pipe", parameters={"R": rows, "C": cols})
+    R, C = b.parameters("R", "C")
+    b.array("raw", 2 * R, 2 * C)
+    for name in ("red", "green", "blue"):
+        b.array(name, R, C)
+    for name in ("corr_r", "corr_g", "corr_b", "out_r", "out_g", "out_b"):
+        b.array(name, R, C)
+    with b.loop("i", 0, R) as i:
+        with b.loop("j", 0, C) as j:
+            b.statement(
+                writes=[("green", [i, j])],
+                reads=[("raw", [2 * i, 2 * j + 1]), ("raw", [2 * i + 1, 2 * j])],
+                text="green[i][j] = average of the two green sites;",
+            )
+            b.statement(
+                writes=[("red", [i, j])], reads=[("raw", [2 * i, 2 * j])], text="red[i][j] = raw[2i][2j];"
+            )
+            b.statement(
+                writes=[("blue", [i, j])],
+                reads=[("raw", [2 * i + 1, 2 * j + 1])],
+                text="blue[i][j] = raw[2i+1][2j+1];",
+            )
+    with b.loop("i2", 0, R) as i2:
+        with b.loop("j2", 0, C) as j2:
+            b.statement(
+                writes=[("corr_r", [i2, j2])],
+                reads=[("red", [i2, j2]), ("green", [i2, j2]), ("blue", [i2, j2])],
+                text="corr_r = colour_correct(red, green, blue);",
+            )
+            b.statement(
+                writes=[("corr_g", [i2, j2])],
+                reads=[("red", [i2, j2]), ("green", [i2, j2]), ("blue", [i2, j2])],
+                text="corr_g = colour_correct(red, green, blue);",
+            )
+            b.statement(
+                writes=[("corr_b", [i2, j2])],
+                reads=[("red", [i2, j2]), ("green", [i2, j2]), ("blue", [i2, j2])],
+                text="corr_b = colour_correct(red, green, blue);",
+            )
+    with b.loop("i3", 0, R) as i3:
+        with b.loop("j3", 0, C) as j3:
+            b.statement(writes=[("out_r", [i3, j3])], reads=[("corr_r", [i3, j3])], text="out_r = curve(corr_r);")
+            b.statement(writes=[("out_g", [i3, j3])], reads=[("corr_g", [i3, j3])], text="out_g = curve(corr_g);")
+            b.statement(writes=[("out_b", [i3, j3])], reads=[("corr_b", [i3, j3])], text="out_b = curve(corr_b);")
+    return b.build()
+
+
+def interpolate(rows: int = 24, cols: int = 24) -> Scop:
+    """Multi-scale interpolation: downsample, coarse interpolation, upsample and blend."""
+    b = ScopBuilder("interpolate", parameters={"R": rows, "C": cols})
+    R, C = b.parameters("R", "C")
+    b.array("img", 2 * R, 2 * C)
+    b.array("down", R, C)
+    b.array("coarse", R, C)
+    b.array("up", 2 * R, 2 * C)
+    b.array("out", 2 * R, 2 * C)
+    with b.loop("i", 0, R) as i:
+        with b.loop("j", 0, C) as j:
+            b.statement(
+                writes=[("down", [i, j])],
+                reads=[("img", [2 * i, 2 * j]), ("img", [2 * i + 1, 2 * j]),
+                       ("img", [2 * i, 2 * j + 1]), ("img", [2 * i + 1, 2 * j + 1])],
+                text="down[i][j] = average of the 2x2 block;",
+            )
+    with b.loop("i2", 1, R - 1) as i2:
+        with b.loop("j2", 1, C - 1) as j2:
+            b.statement(
+                writes=[("coarse", [i2, j2])],
+                reads=[("down", [i2 - 1, j2]), ("down", [i2, j2 - 1]),
+                       ("down", [i2, j2]), ("down", [i2, j2 + 1]), ("down", [i2 + 1, j2])],
+                text="coarse[i][j] = cross_stencil(down, i, j);",
+            )
+    with b.loop("i3", 0, R) as i3:
+        with b.loop("j3", 0, C) as j3:
+            b.statement(
+                writes=[("up", [2 * i3, 2 * j3])], reads=[("coarse", [i3, j3])],
+                text="up[2i][2j] = coarse[i][j];",
+            )
+            b.statement(
+                writes=[("up", [2 * i3 + 1, 2 * j3])], reads=[("coarse", [i3, j3])],
+                text="up[2i+1][2j] = coarse[i][j];",
+            )
+            b.statement(
+                writes=[("up", [2 * i3, 2 * j3 + 1])], reads=[("coarse", [i3, j3])],
+                text="up[2i][2j+1] = coarse[i][j];",
+            )
+            b.statement(
+                writes=[("up", [2 * i3 + 1, 2 * j3 + 1])], reads=[("coarse", [i3, j3])],
+                text="up[2i+1][2j+1] = coarse[i][j];",
+            )
+    with b.loop("i4", 0, 2 * R) as i4:
+        with b.loop("j4", 0, 2 * C) as j4:
+            b.statement(
+                writes=[("out", [i4, j4])],
+                reads=[("img", [i4, j4]), ("up", [i4, j4])],
+                text="out[i][j] = blend(img[i][j], up[i][j]);",
+            )
+    return b.build()
+
+
+def pyramid_blending(rows: int = 24, cols: int = 24) -> Scop:
+    """Two-level Laplacian pyramid blending of two images with a mask."""
+    b = ScopBuilder("pyramid-blending", parameters={"R": rows, "C": cols})
+    R, C = b.parameters("R", "C")
+    for name in ("imgA", "imgB", "mask", "lapA", "lapB", "blendF", "upF", "outF"):
+        b.array(name, 2 * R, 2 * C)
+    for name in ("downA", "downB", "downM", "blendC"):
+        b.array(name, R, C)
+    with b.loop("i", 0, R) as i:
+        with b.loop("j", 0, C) as j:
+            b.statement(
+                writes=[("downA", [i, j])],
+                reads=[("imgA", [2 * i, 2 * j]), ("imgA", [2 * i + 1, 2 * j + 1])],
+                text="downA[i][j] = downsample(imgA);",
+            )
+            b.statement(
+                writes=[("downB", [i, j])],
+                reads=[("imgB", [2 * i, 2 * j]), ("imgB", [2 * i + 1, 2 * j + 1])],
+                text="downB[i][j] = downsample(imgB);",
+            )
+            b.statement(
+                writes=[("downM", [i, j])],
+                reads=[("mask", [2 * i, 2 * j])],
+                text="downM[i][j] = downsample(mask);",
+            )
+    with b.loop("i2", 0, 2 * R) as i2:
+        with b.loop("j2", 0, 2 * C) as j2:
+            b.statement(
+                writes=[("lapA", [i2, j2])],
+                reads=[("imgA", [i2, j2])],
+                text="lapA[i][j] = imgA[i][j] - upsample(downA);",
+            )
+            b.statement(
+                writes=[("lapB", [i2, j2])],
+                reads=[("imgB", [i2, j2])],
+                text="lapB[i][j] = imgB[i][j] - upsample(downB);",
+            )
+            b.statement(
+                writes=[("blendF", [i2, j2])],
+                reads=[("lapA", [i2, j2]), ("lapB", [i2, j2]), ("mask", [i2, j2])],
+                text="blendF[i][j] = mask*lapA + (1-mask)*lapB;",
+            )
+    with b.loop("i3", 0, R) as i3:
+        with b.loop("j3", 0, C) as j3:
+            b.statement(
+                writes=[("blendC", [i3, j3])],
+                reads=[("downA", [i3, j3]), ("downB", [i3, j3]), ("downM", [i3, j3])],
+                text="blendC[i][j] = downM*downA + (1-downM)*downB;",
+            )
+    with b.loop("i4", 0, R) as i4:
+        with b.loop("j4", 0, C) as j4:
+            b.statement(
+                writes=[("upF", [2 * i4, 2 * j4])],
+                reads=[("blendC", [i4, j4])],
+                text="upF[2i][2j] = blendC[i][j];",
+            )
+            b.statement(
+                writes=[("upF", [2 * i4 + 1, 2 * j4])],
+                reads=[("blendC", [i4, j4])],
+                text="upF[2i+1][2j] = blendC[i][j];",
+            )
+            b.statement(
+                writes=[("upF", [2 * i4, 2 * j4 + 1])],
+                reads=[("blendC", [i4, j4])],
+                text="upF[2i][2j+1] = blendC[i][j];",
+            )
+            b.statement(
+                writes=[("upF", [2 * i4 + 1, 2 * j4 + 1])],
+                reads=[("blendC", [i4, j4])],
+                text="upF[2i+1][2j+1] = blendC[i][j];",
+            )
+    with b.loop("i5", 0, 2 * R) as i5:
+        with b.loop("j5", 0, 2 * C) as j5:
+            b.statement(
+                writes=[("outF", [i5, j5])],
+                reads=[("blendF", [i5, j5]), ("upF", [i5, j5])],
+                text="outF[i][j] = blendF[i][j] + upF[i][j];",
+            )
+    return b.build()
+
+
+#: Pipeline registry (Table II rows).
+POLYMAGE_PIPELINES = {
+    "harris": harris,
+    "unsharp-mask": unsharp_mask,
+    "camera-pipe": camera_pipe,
+    "interpolate": interpolate,
+    "pyramid-blending": pyramid_blending,
+}
+
+
+def build_pipeline(name: str, **arguments: int) -> Scop:
+    """Instantiate one PolyMage pipeline."""
+    if name not in POLYMAGE_PIPELINES:
+        raise KeyError(f"unknown pipeline {name!r}; known: {sorted(POLYMAGE_PIPELINES)}")
+    return POLYMAGE_PIPELINES[name](**arguments)

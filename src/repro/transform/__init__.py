@@ -1,0 +1,17 @@
+"""Schedule post-processing: tiling, wavefront skewing and parallelism detection."""
+
+from .parallelism import carried_dimension, detect_parallel_dimensions, schedule_is_legal
+from .tiling import DEFAULT_TILE_SIZE, TiledBand, TilingSpec, band_is_permutable, compute_tiling
+from .wavefront import apply_wavefront
+
+__all__ = [
+    "carried_dimension",
+    "detect_parallel_dimensions",
+    "schedule_is_legal",
+    "TiledBand",
+    "TilingSpec",
+    "band_is_permutable",
+    "compute_tiling",
+    "DEFAULT_TILE_SIZE",
+    "apply_wavefront",
+]

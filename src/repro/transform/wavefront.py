@@ -1,0 +1,53 @@
+"""Skewing for wavefront parallelism (post-processing, see Pluto Section 5.3).
+
+When the outermost band contains no parallel dimension (typical for stencils
+such as jacobi/seidel after time-skewing), summing the first two band
+dimensions produces a wavefront: the transformed second dimension becomes
+parallel because every dependence carried by the band now has a strictly
+positive component on the new first dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..deps.dependence import Dependence
+from ..model.schedule import Schedule, StatementSchedule
+from .parallelism import detect_parallel_dimensions
+
+__all__ = ["apply_wavefront"]
+
+
+def apply_wavefront(
+    schedule: Schedule, dependences: Sequence[Dependence]
+) -> tuple[Schedule, bool]:
+    """Apply wavefront skewing to the outermost band when it has no parallel dim.
+
+    Returns the (possibly unchanged) schedule and a flag telling whether the
+    transformation was applied.
+    """
+    if not schedule.bands:
+        return schedule, False
+    parallel = (
+        schedule.parallel_dims
+        if schedule.parallel_dims
+        else detect_parallel_dimensions(schedule, dependences)
+    )
+    for band_id in schedule.band_ids():
+        members = [
+            dim for dim in schedule.band_members(band_id) if not schedule.is_scalar_dim(dim)
+        ]
+        if len(members) < 2:
+            continue
+        if any(parallel[dim] for dim in members if dim < len(parallel)):
+            return schedule, False  # the band already exposes parallelism
+        first, second = members[0], members[1]
+        transformed = schedule.copy()
+        for name, statement_schedule in schedule.statements.items():
+            rows = list(statement_schedule.rows)
+            if first < len(rows) and second < len(rows):
+                rows[first] = rows[first] + rows[second]
+            transformed.statements[name] = StatementSchedule(name, tuple(rows))
+        transformed.parallel_dims = detect_parallel_dimensions(transformed, dependences)
+        return transformed, True
+    return schedule, False

@@ -1,0 +1,125 @@
+"""Unit tests for dependence analysis and the dependence graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deps import (
+    Dependence,
+    DependenceAnalysis,
+    DependenceGraph,
+    DependenceKind,
+    compute_dependences,
+)
+from repro.polyhedra import AffineExpr
+
+
+class TestDependenceAnalysis:
+    def test_listing1_has_no_dependences(self, listing1_scop):
+        assert compute_dependences(listing1_scop) == []
+
+    def test_gemm_dependences(self, gemm_scop):
+        deps = compute_dependences(gemm_scop)
+        assert deps  # init -> update and update -> update on C
+        pairs = {(d.source, d.target) for d in deps}
+        assert ("S0", "S1") in pairs
+        assert ("S1", "S1") in pairs
+        # No dependence can flow back from the update to the initialisation.
+        assert ("S1", "S0") not in pairs
+
+    def test_dependence_kinds(self, gemm_scop):
+        deps = compute_dependences(gemm_scop)
+        kinds = {d.kind for d in deps}
+        assert DependenceKind.FLOW in kinds
+        assert DependenceKind.OUTPUT in kinds
+        assert DependenceKind.ANTI in kinds
+
+    def test_kind_filtering(self, gemm_scop):
+        flow_only = DependenceAnalysis(include_anti=False, include_output=False).run(gemm_scop)
+        assert flow_only
+        assert all(d.kind is DependenceKind.FLOW for d in flow_only)
+
+    def test_jacobi_dependences_cross_time_steps(self, jacobi_scop):
+        deps = compute_dependences(jacobi_scop)
+        pairs = {(d.source, d.target) for d in deps}
+        assert ("S0", "S1") in pairs  # B produced then consumed in the same step
+        assert ("S1", "S0") in pairs  # A written at step t read at step t+1
+
+    def test_sequence_producer_consumer_chain(self, sequence_scop):
+        deps = compute_dependences(sequence_scop)
+        pairs = {(d.source, d.target) for d in deps}
+        assert ("S0", "S1") in pairs and ("S1", "S2") in pairs
+        assert ("S0", "S2") not in pairs  # no shared array between S0 and S2
+
+    def test_dependence_polyhedra_are_nonempty(self, gemm_scop):
+        for dependence in compute_dependences(gemm_scop):
+            assert not dependence.polyhedron.is_empty()
+
+    def test_depths_are_recorded(self, gemm_scop):
+        deps = compute_dependences(gemm_scop)
+        assert all(d.depth >= 0 for d in deps)
+        self_deps = [d for d in deps if d.is_self_dependence]
+        assert self_deps and all(d.source == "S1" for d in self_deps)
+
+
+class TestDependenceHelpers:
+    def test_strong_and_weak_satisfaction(self, gemm_scop):
+        deps = compute_dependences(gemm_scop)
+        self_dep = next(d for d in deps if d.is_self_dependence)
+        k_row = AffineExpr.variable("k")
+        zero = AffineExpr.const(0)
+        # The k loop strongly satisfies the C self-dependence (distance 1).
+        assert self_dep.is_strongly_satisfied_by(k_row, k_row)
+        assert self_dep.is_weakly_satisfied_by(k_row, k_row)
+        # A constant dimension leaves the distance at zero.
+        assert self_dep.has_zero_distance_under(zero, zero)
+        assert not self_dep.is_strongly_satisfied_by(zero, zero)
+
+    def test_identifier_is_unique_per_dependence(self, gemm_scop):
+        deps = compute_dependences(gemm_scop)
+        identifiers = [d.identifier() for d in deps]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_kind_of_requires_a_write(self):
+        from repro.model import ArrayAccess
+
+        with pytest.raises(ValueError):
+            DependenceKind.of(ArrayAccess.read("A", []), ArrayAccess.read("A", []))
+
+
+class TestDependenceGraph:
+    def test_scc_of_chain(self, sequence_scop):
+        deps = compute_dependences(sequence_scop)
+        graph = DependenceGraph.from_dependences(["S0", "S1", "S2"], deps)
+        components = graph.condensation_order()
+        assert [c[0] for c in components] == ["S0", "S1", "S2"]
+
+    def test_scc_groups_cycles(self):
+        class FakeDep:
+            def __init__(self, source, target):
+                self.source = source
+                self.target = target
+
+        graph = DependenceGraph(["A", "B", "C"])
+        graph.edges = [
+            ("A", "B", FakeDep("A", "B")),
+            ("B", "A", FakeDep("B", "A")),
+            ("B", "C", FakeDep("B", "C")),
+        ]
+        components = graph.condensation_order()
+        assert components == [["A", "B"], ["C"]]
+
+    def test_group_order_legality(self, sequence_scop):
+        deps = compute_dependences(sequence_scop)
+        graph = DependenceGraph.from_dependences(["S0", "S1", "S2"], deps)
+        assert graph.group_order_is_legal([["S0"], ["S1"], ["S2"]])
+        assert not graph.group_order_is_legal([["S2"], ["S1"], ["S0"]])
+        assert graph.group_order_is_legal([["S0", "S1", "S2"]])
+
+    def test_successors_and_edges_between(self, sequence_scop):
+        deps = compute_dependences(sequence_scop)
+        graph = DependenceGraph.from_dependences(["S0", "S1", "S2"], deps)
+        assert "S1" in graph.successors("S0")
+        assert graph.has_edge("S1", "S2")
+        assert graph.edges_between({"S0"}, {"S1"})
+        assert not graph.edges_between({"S2"}, {"S0"})

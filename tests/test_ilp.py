@@ -1,0 +1,288 @@
+"""Unit and property tests for the ILP substrate (problem, simplex, B&B, backends)."""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import (
+    ConstraintSense,
+    ExactSimplexBackend,
+    IlpSolver,
+    LinearProblem,
+    LpStatus,
+    ScipyHighsBackend,
+    StandardFormRow,
+    merge_linear_terms,
+    scale_linear_terms,
+    solve_milp,
+    solve_standard_form,
+)
+
+
+class TestLinearProblem:
+    def test_variable_declaration_and_bounds(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 5)
+        assert problem.variables["x"].lower == 0
+        assert problem.variables["x"].upper == 5
+
+    def test_inconsistent_redeclaration_rejected(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 5)
+        with pytest.raises(ValueError):
+            problem.add_variable("x", 0, 6)
+
+    def test_redeclaration_consistent_ok(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 5)
+        problem.add_variable("x", 0, 5)
+        assert len(problem.variables) == 1
+
+    def test_invalid_bounds(self):
+        problem = LinearProblem()
+        with pytest.raises(ValueError):
+            problem.add_variable("x", 5, 0)
+
+    def test_constraint_unknown_variable(self):
+        problem = LinearProblem()
+        problem.add_variable("x")
+        with pytest.raises(KeyError):
+            problem.add_constraint({"y": 1}, ">=", 0)
+
+    def test_objective_unknown_variable(self):
+        problem = LinearProblem()
+        with pytest.raises(KeyError):
+            problem.add_objective({"x": 1})
+
+    def test_feasibility_check(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 10)
+        problem.add_constraint({"x": 1}, ">=", 3)
+        assert problem.is_feasible_assignment({"x": 4})
+        assert not problem.is_feasible_assignment({"x": 2})
+        assert not problem.is_feasible_assignment({"x": Fraction(7, 2)})
+
+    def test_copy_is_independent(self):
+        problem = LinearProblem()
+        problem.add_variable("x")
+        clone = problem.copy()
+        clone.add_constraint({"x": 1}, ">=", 1)
+        assert not problem.constraints
+
+    def test_merge_and_scale_terms(self):
+        merged = merge_linear_terms({"a": 1, "b": 2}, {"a": -1, "c": 3})
+        assert merged == {"b": Fraction(2), "c": Fraction(3)}
+        assert scale_linear_terms({"a": 2}, Fraction(1, 2)) == {"a": Fraction(1)}
+
+
+class TestSimplex:
+    def test_simple_minimisation(self):
+        rows = [StandardFormRow.build([1, 2], ">=", 3)]
+        result = solve_standard_form(2, rows, [1, 1])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == Fraction(3, 2)
+
+    def test_equality_constraints(self):
+        rows = [StandardFormRow.build([1, 1], "==", 4), StandardFormRow.build([1, -1], "==", 2)]
+        result = solve_standard_form(2, rows, [0, 0])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.values[0] == 3 and result.values[1] == 1
+
+    def test_infeasible(self):
+        rows = [
+            StandardFormRow.build([1], "<=", 1),
+            StandardFormRow.build([1], ">=", 2),
+        ]
+        assert solve_standard_form(1, rows, [1]).status is LpStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        result = solve_standard_form(1, [], [-1])
+        assert result.status is LpStatus.UNBOUNDED
+
+    def test_negative_rhs_normalisation(self):
+        rows = [StandardFormRow.build([-1], "<=", -2)]  # i.e. x >= 2
+        result = solve_standard_form(1, rows, [1])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.values[0] == 2
+
+    def test_degenerate_problem_terminates(self):
+        rows = [
+            StandardFormRow.build([1, 1], "<=", 0),
+            StandardFormRow.build([1, -1], "<=", 0),
+            StandardFormRow.build([1, 0], ">=", 0),
+        ]
+        result = solve_standard_form(2, rows, [-1, 0])
+        assert result.status is LpStatus.OPTIMAL
+        assert result.values[0] == 0
+
+
+def _brute_force(problem: LinearProblem, objective):
+    """Exhaustively enumerate bounded integer assignments (tests only)."""
+    names = list(problem.variables)
+    ranges = []
+    for name in names:
+        variable = problem.variables[name]
+        ranges.append(range(int(variable.lower), int(variable.upper) + 1))
+    best = None
+    for values in itertools.product(*ranges):
+        assignment = dict(zip(names, values))
+        if not problem.is_feasible_assignment(assignment):
+            continue
+        value = sum(Fraction(objective.get(n, 0)) * v for n, v in assignment.items())
+        if best is None or value < best:
+            best = value
+    return best
+
+
+class TestBranchAndBound:
+    def test_integer_optimum_differs_from_lp(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 10)
+        problem.add_constraint({"x": 2}, ">=", 3)  # x >= 1.5 -> integer x >= 2
+        result = solve_milp(problem, {"x": Fraction(1)})
+        assert result.status is LpStatus.OPTIMAL
+        assert result.assignment["x"] == 2
+
+    def test_feasibility_only(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 3)
+        problem.add_variable("y", 0, 3)
+        problem.add_constraint({"x": 1, "y": 1}, "==", 5)
+        result = solve_milp(problem)
+        assert result.status is LpStatus.OPTIMAL
+        assert problem.is_feasible_assignment(result.assignment)
+
+    def test_infeasible_problem(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 1)
+        problem.add_constraint({"x": 1}, ">=", 2)
+        assert solve_milp(problem).status is LpStatus.INFEASIBLE
+
+    def test_no_integer_point_in_fractional_region(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 10)
+        problem.add_constraint({"x": 2}, "==", 5)  # x = 2.5 has no integer solution
+        assert solve_milp(problem).status is LpStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", [ExactSimplexBackend(), ScipyHighsBackend()])
+    def test_backends_agree_on_small_problem(self, backend):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 4)
+        problem.add_variable("y", 0, 4)
+        problem.add_constraint({"x": 1, "y": 2}, ">=", 5)
+        problem.add_constraint({"x": 1, "y": -1}, "<=", 1)
+        result = solve_milp(problem, {"x": 3, "y": 1}, backend=backend)
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == 3  # x=0, y=3 minimises 3x + y
+        assert problem.is_feasible_assignment(result.assignment)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-3, 3), st.integers(-3, 3), st.integers(-4, 6)
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.tuples(st.integers(-3, 3), st.integers(-3, 3)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, constraint_rows, objective_coeffs):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 4)
+        problem.add_variable("y", 0, 4)
+        for a, b, rhs in constraint_rows:
+            problem.add_constraint({"x": a, "y": b}, ">=", rhs)
+        objective = {"x": Fraction(objective_coeffs[0]), "y": Fraction(objective_coeffs[1])}
+        expected = _brute_force(problem, objective)
+        result = solve_milp(problem, objective)
+        if expected is None:
+            assert result.status is LpStatus.INFEASIBLE
+        else:
+            assert result.status is LpStatus.OPTIMAL
+            assert result.objective == expected
+
+
+class TestLexicographicSolver:
+    def test_two_stage_minimisation(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 5)
+        problem.add_variable("y", 0, 5)
+        problem.add_constraint({"x": 1, "y": 1}, ">=", 4)
+        problem.add_objective({"x": 1})      # first minimise x
+        problem.add_objective({"y": 1})      # then y
+        solution = IlpSolver().solve(problem)
+        assert solution is not None
+        assert solution.value("x") == 0
+        assert solution.value("y") == 4
+        assert solution.objective_values == [Fraction(0), Fraction(4)]
+
+    def test_priority_order_matters(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 5)
+        problem.add_variable("y", 0, 5)
+        problem.add_constraint({"x": 1, "y": 1}, ">=", 4)
+        problem.add_objective({"y": 1})
+        problem.add_objective({"x": 1})
+        solution = IlpSolver().solve(problem)
+        assert solution.value("y") == 0
+        assert solution.value("x") == 4
+
+    def test_no_objectives_feasibility(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 3)
+        problem.add_constraint({"x": 1}, ">=", 2)
+        solution = IlpSolver().solve(problem)
+        assert solution is not None
+        assert solution.value("x") >= 2
+
+    def test_infeasible_returns_none(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 1)
+        problem.add_constraint({"x": 1}, ">=", 5)
+        problem.add_objective({"x": 1})
+        assert IlpSolver().solve(problem) is None
+
+    def test_is_feasible_helper(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 1)
+        problem.add_objective({"x": 1})
+        assert IlpSolver().is_feasible(problem)
+
+    def test_exact_backend_end_to_end(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 6)
+        problem.add_constraint({"x": 3}, ">=", 7)
+        problem.add_objective({"x": 1})
+        solution = IlpSolver(backend=ExactSimplexBackend()).solve(problem)
+        assert solution.value("x") == 3
+
+
+class TestBackends:
+    def test_highs_available(self):
+        assert ScipyHighsBackend.is_available()
+
+    def test_highs_matches_exact_simplex_lp(self):
+        rows = [
+            StandardFormRow.build([1, 2], ">=", 3),
+            StandardFormRow.build([2, 1], ">=", 3),
+        ]
+        exact = ExactSimplexBackend().solve(2, rows, [Fraction(1), Fraction(1)])
+        fast = ScipyHighsBackend().solve(2, rows, [Fraction(1), Fraction(1)])
+        assert exact.status is LpStatus.OPTIMAL and fast.status is LpStatus.OPTIMAL
+        assert exact.objective == fast.objective == Fraction(2)
+
+    def test_highs_detects_infeasible(self):
+        rows = [
+            StandardFormRow.build([1], "<=", 1),
+            StandardFormRow.build([1], ">=", 3),
+        ]
+        assert ScipyHighsBackend().solve(1, rows, [Fraction(0)]).status is LpStatus.INFEASIBLE
+
+    def test_highs_detects_unbounded(self):
+        assert ScipyHighsBackend().solve(1, [], [Fraction(-1)]).status is LpStatus.UNBOUNDED

@@ -1,0 +1,225 @@
+"""Unit and property tests for the exact linear algebra substrate."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    RationalMatrix,
+    as_fraction,
+    common_denominator,
+    determinant,
+    gcd_many,
+    hermite_normal_form,
+    is_integral,
+    is_linearly_independent,
+    is_unimodular,
+    lcm,
+    lcm_many,
+    normalize_integer_row,
+    orthogonal_complement,
+    orthogonal_complement_rows,
+    scale_to_integers,
+    unimodular_completion,
+)
+
+
+class TestRationalHelpers:
+    def test_as_fraction_idempotent(self):
+        assert as_fraction(Fraction(3, 4)) == Fraction(3, 4)
+        assert as_fraction(5) == Fraction(5)
+
+    def test_lcm_basic(self):
+        assert lcm(4, 6) == 12
+        assert lcm(0, 7) == 7
+        assert lcm(7, 0) == 7
+
+    def test_lcm_many(self):
+        assert lcm_many([2, 3, 4]) == 12
+        assert lcm_many([]) == 1
+
+    def test_gcd_many(self):
+        assert gcd_many([12, 18, 24]) == 6
+        assert gcd_many([]) == 0
+        assert gcd_many([-4, 6]) == 2
+
+    def test_common_denominator(self):
+        assert common_denominator([Fraction(1, 2), Fraction(1, 3)]) == 6
+        assert common_denominator([1, 2]) == 1
+
+    def test_scale_to_integers_preserves_direction(self):
+        scaled = scale_to_integers([Fraction(1, 2), Fraction(-1, 3)])
+        assert scaled == [3, -2]
+
+    def test_normalize_integer_row(self):
+        assert normalize_integer_row([4, 8, -12]) == [1, 2, -3]
+        assert normalize_integer_row([0, 0]) == [0, 0]
+
+    def test_is_integral(self):
+        assert is_integral(Fraction(4, 2))
+        assert not is_integral(Fraction(1, 3))
+
+
+class TestRationalMatrix:
+    def test_identity_and_shape(self):
+        identity = RationalMatrix.identity(3)
+        assert identity.shape == (3, 3)
+        assert identity[0, 0] == 1 and identity[0, 1] == 0
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1, 2], [3]])
+
+    def test_addition_and_subtraction(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        b = RationalMatrix([[4, 3], [2, 1]])
+        assert (a + b) == RationalMatrix([[5, 5], [5, 5]])
+        assert (a - a) == RationalMatrix.zeros(2, 2)
+
+    def test_matmul(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        identity = RationalMatrix.identity(2)
+        assert a @ identity == a
+        assert (a @ a) == RationalMatrix([[7, 10], [15, 22]])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1, 2]]) @ RationalMatrix([[1, 2]])
+
+    def test_multiply_vector(self):
+        a = RationalMatrix([[1, 2], [3, 4]])
+        assert a.multiply_vector([1, 1]) == [Fraction(3), Fraction(7)]
+
+    def test_transpose(self):
+        a = RationalMatrix([[1, 2, 3], [4, 5, 6]])
+        assert a.transpose().shape == (3, 2)
+        assert a.transpose()[2, 1] == 6
+
+    def test_rank_and_rref(self):
+        a = RationalMatrix([[1, 2], [2, 4]])
+        assert a.rank() == 1
+        reduced, pivots = a.rref()
+        assert pivots == [0]
+        assert reduced.row(1) == [Fraction(0), Fraction(0)]
+
+    def test_nullspace(self):
+        a = RationalMatrix([[1, 2]])
+        basis = a.nullspace()
+        assert len(basis) == 1
+        vector = basis[0]
+        assert vector[0] * 1 + vector[1] * 2 == 0
+
+    def test_inverse_roundtrip(self):
+        a = RationalMatrix([[2, 1], [1, 1]])
+        assert a @ a.inverse() == RationalMatrix.identity(2)
+
+    def test_inverse_singular(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1, 2], [2, 4]]).inverse()
+
+    def test_solve_consistent(self):
+        a = RationalMatrix([[1, 1], [1, -1]])
+        solution = a.solve([3, 1])
+        assert solution == [Fraction(2), Fraction(1)]
+
+    def test_solve_inconsistent(self):
+        a = RationalMatrix([[1, 1], [1, 1]])
+        assert a.solve([1, 2]) is None
+
+    def test_integer_rows(self):
+        a = RationalMatrix([[Fraction(1, 2), Fraction(1, 3)]])
+        assert a.integer_rows() == [[3, 2]]
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-5, 5), min_size=3, max_size=3), min_size=3, max_size=3
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_inverse_property(self, rows):
+        matrix = RationalMatrix(rows)
+        if matrix.rank() < 3:
+            return
+        assert matrix @ matrix.inverse() == RationalMatrix.identity(3)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-4, 4), min_size=4, max_size=4), min_size=2, max_size=3
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nullspace_property(self, rows):
+        matrix = RationalMatrix(rows)
+        for vector in matrix.nullspace():
+            assert all(value == 0 for value in matrix.multiply_vector(vector))
+
+
+class TestOrthogonalComplement:
+    def test_empty_rows_is_identity(self):
+        assert orthogonal_complement([], 3) == RationalMatrix.identity(3)
+
+    def test_full_span_is_zero(self):
+        complement = orthogonal_complement([[1, 0], [0, 1]], 2)
+        assert complement == RationalMatrix.zeros(2, 2)
+
+    def test_rows_are_orthogonal_to_span(self):
+        rows = [[1, 1, 0]]
+        complement_rows = orthogonal_complement_rows(rows, 3)
+        for row in complement_rows:
+            assert sum(a * b for a, b in zip(row, [1, 1, 0])) == 0
+
+    def test_complement_rows_integer(self):
+        rows = orthogonal_complement_rows([[2, 1]], 2)
+        for row in rows:
+            assert all(isinstance(value, int) for value in row)
+
+    def test_is_linearly_independent(self):
+        assert is_linearly_independent([[1, 0]], [0, 1])
+        assert not is_linearly_independent([[1, 0]], [2, 0])
+        assert not is_linearly_independent([], [0, 0])
+        assert is_linearly_independent([], [1, 2])
+
+    def test_dependent_input_rows_handled(self):
+        complement = orthogonal_complement([[1, 0], [2, 0]], 2)
+        # Span is the x axis; the complement projects onto the y axis.
+        assert complement.multiply_vector([5, 7]) == [Fraction(0), Fraction(7)]
+
+
+class TestHermite:
+    def test_determinant_identity(self):
+        assert determinant([[1, 0], [0, 1]]) == 1
+
+    def test_determinant_known(self):
+        assert determinant([[2, 3], [1, 4]]) == 5
+        assert determinant([[1, 2], [2, 4]]) == 0
+
+    def test_determinant_requires_square(self):
+        with pytest.raises(ValueError):
+            determinant([[1, 2, 3], [4, 5, 6]])
+
+    def test_is_unimodular(self):
+        assert is_unimodular([[1, 1], [0, 1]])
+        assert not is_unimodular([[2, 0], [0, 1]])
+
+    def test_hermite_normal_form_reconstruction(self):
+        matrix = [[4, 2], [2, 3]]
+        h, u = hermite_normal_form(matrix)
+        assert is_unimodular(u)
+        # H = A @ U
+        reconstructed = [
+            [
+                sum(matrix[i][k] * u[k][j] for k in range(2))
+                for j in range(2)
+            ]
+            for i in range(2)
+        ]
+        assert reconstructed == h
+
+    def test_unimodular_completion(self):
+        completed = unimodular_completion([[1, 1, 0]], 3)
+        assert len(completed) == 3
+        assert determinant(completed) != 0

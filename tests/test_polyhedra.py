@@ -1,0 +1,336 @@
+"""Unit and property tests for affine expressions, polyhedra, projection and Farkas."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra import (
+    CONSTANT_KEY,
+    AffineConstraint,
+    AffineExpr,
+    ConstraintKind,
+    Polyhedron,
+    Space,
+    count_integer_points,
+    eliminate_variable,
+    eliminate_variables,
+    enumerate_integer_points,
+    farkas_nonnegative,
+    find_integer_point,
+    is_integer_empty,
+    simplify_constraints,
+)
+
+
+def _box(names, lows, highs, parameters=()):
+    constraints = []
+    for name, low, high in zip(names, lows, highs):
+        variable = AffineExpr.variable(name)
+        constraints.append(AffineConstraint.greater_equal(variable, low))
+        constraints.append(AffineConstraint.less_equal(variable, high))
+    return Polyhedron.from_constraints(Space(tuple(names), tuple(parameters)), constraints)
+
+
+class TestAffineExpr:
+    def test_variable_and_constant(self):
+        expr = AffineExpr.variable("i") + 3
+        assert expr.coefficient("i") == 1
+        assert expr.constant == 3
+
+    def test_algebra(self):
+        i, j = AffineExpr.variable("i"), AffineExpr.variable("j")
+        expr = 2 * i - j + 5
+        assert expr.coefficient("i") == 2
+        assert expr.coefficient("j") == -1
+        assert expr.constant == 5
+        assert (expr - expr).is_zero()
+
+    def test_zero_coefficients_removed(self):
+        i = AffineExpr.variable("i")
+        assert "i" not in (i - i).coefficients
+
+    def test_substitute(self):
+        i, n = AffineExpr.variable("i"), AffineExpr.variable("N")
+        expr = 2 * i + 1
+        substituted = expr.substitute({"i": n - 1})
+        assert substituted == 2 * n - 1
+
+    def test_rename(self):
+        expr = AffineExpr.variable("i") + AffineExpr.variable("j")
+        renamed = expr.rename({"i": "x"})
+        assert renamed.coefficient("x") == 1 and renamed.coefficient("j") == 1
+
+    def test_evaluate(self):
+        expr = 3 * AffineExpr.variable("i") - 2
+        assert expr.evaluate({"i": 4}) == 10
+
+    def test_evaluate_missing_dimension(self):
+        with pytest.raises(KeyError):
+            AffineExpr.variable("i").evaluate({})
+
+    def test_as_dict_includes_constant(self):
+        expr = AffineExpr.variable("i") + 7
+        assert expr.as_dict() == {"i": Fraction(1), CONSTANT_KEY: Fraction(7)}
+
+    @given(st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_evaluation_is_linear(self, a, b, point):
+        i = AffineExpr.variable("i")
+        left = (a * i + b).evaluate({"i": point})
+        assert left == a * point + b
+
+
+class TestConstraints:
+    def test_greater_equal_normalisation(self):
+        i = AffineExpr.variable("i")
+        constraint = AffineConstraint.greater_equal(i, 3)
+        assert constraint.is_satisfied({"i": 3})
+        assert not constraint.is_satisfied({"i": 2})
+
+    def test_less_equal(self):
+        i = AffineExpr.variable("i")
+        constraint = AffineConstraint.less_equal(i, 3)
+        assert constraint.is_satisfied({"i": 3})
+        assert not constraint.is_satisfied({"i": 4})
+
+    def test_equality(self):
+        i = AffineExpr.variable("i")
+        constraint = AffineConstraint.equals(2 * i, 4)
+        assert constraint.is_satisfied({"i": 2})
+        assert not constraint.is_satisfied({"i": 1})
+
+    def test_trivial_detection(self):
+        assert AffineConstraint.greater_equal(AffineExpr.const(1), 0).is_trivially_true()
+        assert AffineConstraint.greater_equal(AffineExpr.const(-1), 0).is_trivially_false()
+        assert AffineConstraint.equals(AffineExpr.const(0), 0).is_trivially_true()
+
+    def test_normalized_scales_to_coprime_integers(self):
+        i = AffineExpr.variable("i")
+        constraint = AffineConstraint(AffineExpr({"i": Fraction(2, 4)}, Fraction(1, 2)))
+        normal = constraint.normalized()
+        assert normal.expression.coefficient("i") == 1
+        assert normal.expression.constant == 1
+
+    def test_negated_inequality(self):
+        i = AffineExpr.variable("i")
+        constraint = AffineConstraint.greater_equal(i, 0)
+        negated = constraint.negated_inequality()
+        assert negated.is_satisfied({"i": -1})
+        assert not negated.is_satisfied({"i": 0})
+
+    def test_cannot_negate_equality(self):
+        with pytest.raises(ValueError):
+            AffineConstraint.equals(AffineExpr.variable("i"), 0).negated_inequality()
+
+
+class TestFourierMotzkin:
+    def test_projection_of_square(self):
+        box = _box(["i", "j"], [0, 0], [4, 4])
+        projected = eliminate_variable(list(box.constraints), "j")
+        space = Space(("i",), ())
+        result = Polyhedron.from_constraints(space, projected)
+        assert not result.is_empty()
+        assert result.contains({"i": 4})
+        assert not result.contains({"i": 5})
+
+    def test_equality_substitution(self):
+        i, j = AffineExpr.variable("i"), AffineExpr.variable("j")
+        constraints = [
+            AffineConstraint.equals(j, 2 * i),
+            AffineConstraint.less_equal(j, 6),
+            AffineConstraint.greater_equal(j, 0),
+        ]
+        projected = eliminate_variable(constraints, "j")
+        result = Polyhedron.from_constraints(Space(("i",), ()), projected)
+        assert result.contains({"i": 3})
+        assert not result.contains({"i": 4})
+
+    def test_simplify_removes_duplicates_and_trivial(self):
+        i = AffineExpr.variable("i")
+        constraints = [
+            AffineConstraint.greater_equal(i, 0),
+            AffineConstraint.greater_equal(2 * i, 0),
+            AffineConstraint.greater_equal(AffineExpr.const(3), 0),
+        ]
+        assert len(simplify_constraints(constraints)) == 1
+
+    @given(
+        st.integers(0, 3), st.integers(4, 7), st.integers(0, 3), st.integers(4, 7),
+        st.integers(-2, 8), st.integers(-2, 8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_projection_soundness(self, ilo, ihi, jlo, jhi, i_point, j_point):
+        """A point is in the projection iff some j completes it (boxes are exact)."""
+        box = _box(["i", "j"], [ilo, jlo], [ihi, jhi])
+        projected = Polyhedron.from_constraints(
+            Space(("i",), ()), eliminate_variable(list(box.constraints), "j")
+        )
+        inside_full = box.contains({"i": i_point, "j": j_point})
+        if inside_full:
+            assert projected.contains({"i": i_point})
+        if projected.contains({"i": i_point}):
+            assert ilo <= i_point <= ihi
+
+
+class TestPolyhedron:
+    def test_empty_detection(self):
+        poly = _box(["i"], [3], [2])
+        assert poly.is_empty()
+
+    def test_sample_point_in_set(self):
+        poly = _box(["i", "j"], [1, 2], [5, 6])
+        point = poly.sample_point()
+        assert point is not None
+        assert poly.contains(point)
+
+    def test_parametric_emptiness(self):
+        space = Space(("i",), ("N",))
+        i, n = AffineExpr.variable("i"), AffineExpr.variable("N")
+        poly = Polyhedron.from_constraints(
+            space,
+            [
+                AffineConstraint.greater_equal(i, 0),
+                AffineConstraint.less_equal(i, n - 1),
+                AffineConstraint.greater_equal(n, 1),
+            ],
+        )
+        assert not poly.is_empty()
+        assert is_integer_empty(poly.add_constraints([AffineConstraint.less_equal(n, 0)]))
+
+    def test_enumerate_points_count(self):
+        poly = _box(["i", "j"], [0, 0], [2, 3])
+        points = enumerate_integer_points(poly)
+        assert len(points) == 12
+
+    def test_enumeration_requires_fixed_parameters(self):
+        space = Space(("i",), ("N",))
+        poly = Polyhedron.universe(space)
+        with pytest.raises(ValueError):
+            enumerate_integer_points(poly)
+
+    def test_count_with_parameter_values(self):
+        space = Space(("i",), ("N",))
+        i, n = AffineExpr.variable("i"), AffineExpr.variable("N")
+        poly = Polyhedron.from_constraints(
+            space,
+            [AffineConstraint.greater_equal(i, 0), AffineConstraint.less_equal(i, n - 1)],
+        )
+        assert count_integer_points(poly, {"N": 7}) == 7
+
+    def test_fix_dimensions(self):
+        poly = _box(["i", "j"], [0, 0], [4, 4])
+        fixed = poly.fix_dimensions({"j": 2})
+        assert fixed.space.iterators == ("i",)
+        assert fixed.contains({"i": 0})
+
+    def test_project_onto_keeps_parameters(self):
+        space = Space(("i", "j"), ("N",))
+        i, j, n = (AffineExpr.variable(x) for x in ("i", "j", "N"))
+        poly = Polyhedron.from_constraints(
+            space,
+            [
+                AffineConstraint.greater_equal(i, 0),
+                AffineConstraint.less_equal(i, n - 1),
+                AffineConstraint.greater_equal(j, 0),
+                AffineConstraint.less_equal(j, i),
+            ],
+        )
+        projected = poly.project_onto(["j"])
+        assert projected.space.parameters == ("N",)
+        assert "i" not in projected.space.iterators
+
+    def test_rename_iterators(self):
+        poly = _box(["i"], [0], [3]).rename_iterators({"i": "x"})
+        assert poly.space.iterators == ("x",)
+        assert poly.contains({"x": 2})
+
+    def test_dimension_bounds(self):
+        poly = _box(["i"], [1], [7])
+        lower, upper = poly.dimension_bounds("i")
+        assert lower[0].constant == 1
+        assert upper[0].constant == 7
+
+    def test_intersect_space_mismatch(self):
+        with pytest.raises(ValueError):
+            _box(["i"], [0], [1]).intersect(_box(["j"], [0], [1]))
+
+    def test_unknown_dimension_rejected(self):
+        space = Space(("i",), ())
+        with pytest.raises(ValueError):
+            Polyhedron(space, (AffineConstraint.greater_equal(AffineExpr.variable("j"), 0),))
+
+
+class TestSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Space(("i", "i"), ())
+
+    def test_reserved_constant_key(self):
+        with pytest.raises(ValueError):
+            Space((CONSTANT_KEY,), ())
+
+    def test_product_renaming(self):
+        left = Space(("i",), ("N",))
+        right = Space(("i",), ("N",))
+        product = left.product(right, {"i": "i2"})
+        assert product.iterators == ("i", "i2")
+
+    def test_index_and_membership(self):
+        space = Space(("i", "j"), ("N",))
+        assert "N" in space and space.is_parameter("N")
+        assert space.index("j") == 1
+
+
+class TestFarkas:
+    def test_interval_nonnegativity(self):
+        # f(i) = a*i + b >= 0 on [0, 9]  <=>  b >= 0 and 9a + b >= 0.
+        poly = _box(["i"], [0], [9])
+        result = farkas_nonnegative(poly, {"i": {"a": Fraction(1)}}, {"b": Fraction(1)})
+        rows = result.as_rows()
+        normalized = {frozenset(coeffs.items()) for coeffs, _, _ in rows}
+        assert frozenset({"b": Fraction(1)}.items()) in normalized
+        assert any({"a", "b"} == set(coeffs) for coeffs, _, _ in rows)
+
+    def test_constant_template_only(self):
+        poly = _box(["i"], [0], [3])
+        result = farkas_nonnegative(poly, {}, {"c": Fraction(1)})
+        rows = result.as_rows()
+        # c >= 0 is the only requirement.
+        assert any(set(coeffs) == {"c"} for coeffs, _, _ in rows)
+
+    def test_parametric_polyhedron(self):
+        space = Space(("i",), ("N",))
+        i, n = AffineExpr.variable("i"), AffineExpr.variable("N")
+        poly = Polyhedron.from_constraints(
+            space,
+            [
+                AffineConstraint.greater_equal(i, 0),
+                AffineConstraint.less_equal(i, n - 1),
+                AffineConstraint.greater_equal(n, 1),
+            ],
+        )
+        result = farkas_nonnegative(
+            poly, {"i": {"a": Fraction(1)}, "N": {"u": Fraction(1)}}, {"w": Fraction(1)}
+        )
+        assert result.constraints  # a non-trivial linearisation exists
+
+    def test_farkas_solutions_are_actually_nonnegative(self):
+        poly = _box(["i"], [0, ], [5])
+        result = farkas_nonnegative(poly, {"i": {"a": Fraction(1)}}, {"b": Fraction(1)})
+        # Pick a = 1, b = 0: f(i) = i which is >= 0 on [0,5]; must satisfy all rows.
+        for coeffs, sense, rhs in result.as_rows():
+            value = coeffs.get("a", Fraction(0)) * 1 + coeffs.get("b", Fraction(0)) * 0
+            assert value >= rhs if sense == ">=" else value == rhs
+        # a = -1, b = 0: f(i) = -i is negative on (0,5]; must violate some row.
+        violated = False
+        for coeffs, sense, rhs in result.as_rows():
+            value = coeffs.get("a", Fraction(0)) * -1
+            if sense == ">=" and value < rhs:
+                violated = True
+            if sense == "==" and value != rhs:
+                violated = True
+        assert violated

@@ -1,0 +1,208 @@
+"""Tests for configurations, the JSON interface and the custom-constraint language."""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.scheduler import (
+    ConfigurationError,
+    CustomConstraintParser,
+    DimensionConfig,
+    Directive,
+    FusionSpec,
+    SchedulerConfig,
+    registered_cost_functions,
+    resolve_cost_function,
+    strategy_by_name,
+)
+from repro.scheduler.config import DEFAULT_DIMENSION
+from repro.scheduler.naming import (
+    constant_coefficient,
+    iterator_coefficient,
+    parameter_coefficient,
+)
+
+LISTING2_JSON = """
+{
+  "scheduling_strategy" : {
+    "new_variables" : ["x"],
+    "ILP_construction" : [
+      {"scheduling_dimension" : "default",
+       "cost_functions" : ["contiguity", "proximity", "x"]}
+    ],
+    "custom_constraints" : [
+      {"scheduling_dimension" : "default",
+       "constraints" : ["x - S0_it_i >= 0"]}
+    ],
+    "fusion" : [
+      {"scheduling_dimension" : 0,
+       "total_distribution" : false,
+       "stmts_fusion" : [["0", "1"], ["2"]]}
+    ],
+    "directives" : [
+      {"type" : "vectorize", "stmts" : "0", "iterator" : "1"}
+    ]
+  }
+}
+"""
+
+
+class TestSchedulerConfigJson:
+    def test_listing2_roundtrip(self):
+        config = SchedulerConfig.from_json(LISTING2_JSON)
+        assert config.new_variables == ("x",)
+        assert config.dimension_config(0).cost_functions == ("contiguity", "proximity", "x")
+        assert config.constraints_for(0) == ("x - S0_it_i >= 0",)
+        fusion = config.fusion_for(0)
+        assert fusion is not None and fusion.groups == (("0", "1"), ("2",))
+        assert config.directives[0].kind == "vectorize"
+        # Serialise back and parse again.
+        again = SchedulerConfig.from_json(config.to_json())
+        assert again.dimension_config(0).cost_functions == config.dimension_config(0).cost_functions
+
+    def test_dimension_specific_overrides_default(self):
+        config = SchedulerConfig(
+            ilp_construction={
+                DEFAULT_DIMENSION: DimensionConfig(("proximity",)),
+                1: DimensionConfig(("feautrier",)),
+            }
+        )
+        assert config.dimension_config(0).cost_functions == ("proximity",)
+        assert config.dimension_config(1).cost_functions == ("feautrier",)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Directive(kind="unroll", statements=("0",))
+
+    def test_options_section(self):
+        config = SchedulerConfig.from_json(
+            {
+                "scheduling_strategy": {
+                    "options": {
+                        "auto_vectorization": True,
+                        "negative_coefficients": True,
+                        "coefficient_bound": 7,
+                        "tile_sizes": [16, 16],
+                    }
+                }
+            }
+        )
+        assert config.auto_vectorize
+        assert config.allow_negative_coefficients
+        assert config.coefficient_bound == 7
+        assert config.tile_sizes == (16, 16)
+
+    def test_with_directives_copy(self):
+        config = SchedulerConfig()
+        extended = config.with_directives([Directive("parallel", ("0",))])
+        assert not config.directives
+        assert extended.directives[0].kind == "parallel"
+
+
+class TestStrategies:
+    def test_predefined_strategies_exist(self):
+        for name in ("pluto", "tensor", "isl", "feautrier", "blf", "npu-vectorize", "pluto+"):
+            config = strategy_by_name(name)
+            assert isinstance(config, SchedulerConfig)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            strategy_by_name("does-not-exist")
+
+    def test_tensor_style_has_no_skewing(self):
+        config = strategy_by_name("tensor")
+        assert "no-skewing" in config.constraints_for(0)
+
+    def test_pluto_plus_allows_negative_coefficients(self):
+        assert strategy_by_name("pluto+").allow_negative_coefficients
+
+    def test_isl_style_has_dynamic_callback(self):
+        assert strategy_by_name("isl").strategy_callback is not None
+
+    def test_registered_cost_functions(self):
+        names = registered_cost_functions()
+        assert {"proximity", "feautrier", "contiguity", "bigLoopsFirst"} <= set(names)
+
+    def test_resolve_unknown_cost_function(self):
+        with pytest.raises(ConfigurationError):
+            resolve_cost_function("not-a-cost")
+
+    def test_resolve_user_variable_cost(self):
+        cost = resolve_cost_function("x", user_variables=("x",))
+        assert cost.name == "x"
+
+
+class TestCustomConstraintParser:
+    @pytest.fixture
+    def parser(self, gemm_scop):
+        return CustomConstraintParser(gemm_scop.statements, user_variables=("x",))
+
+    def test_single_coefficient(self, parser):
+        rows = parser.parse("S1_it_0 >= 1")
+        coeffs, sense, rhs = rows[0]
+        assert coeffs == {iterator_coefficient("S1", "i"): Fraction(1)}
+        assert sense == ">=" and rhs == 1
+
+    def test_sum_over_iterators(self, parser):
+        rows = parser.parse("S1_it_i <= 1")
+        coeffs, sense, rhs = rows[0]
+        assert set(coeffs) == {
+            iterator_coefficient("S1", "i"),
+            iterator_coefficient("S1", "j"),
+            iterator_coefficient("S1", "k"),
+        }
+        assert sense == ">="  # normalised from <=
+        assert rhs == -1
+
+    def test_sum_over_statements(self, parser):
+        rows = parser.parse("Si_cst == 0")
+        coeffs, sense, rhs = rows[0]
+        assert set(coeffs) == {constant_coefficient("S0"), constant_coefficient("S1")}
+
+    def test_parameter_coefficients(self, parser):
+        rows = parser.parse("S0_par_0 == 0")
+        coeffs, _, _ = rows[0]
+        assert coeffs == {parameter_coefficient("S0", "NI"): Fraction(1)}
+
+    def test_user_variable_and_arithmetic(self, parser):
+        rows = parser.parse("x - S0_it_i >= 0")
+        coeffs, sense, rhs = rows[0]
+        assert coeffs["x"] == 1
+        assert coeffs[iterator_coefficient("S0", "i")] == -1
+        assert rhs == 0
+
+    def test_multiplication_by_constant(self, parser):
+        rows = parser.parse("2*S1_it_0 + 3 >= 1")
+        coeffs, _, rhs = rows[0]
+        assert coeffs[iterator_coefficient("S1", "i")] == 2
+        assert rhs == -2  # 1 - 3
+
+    def test_named_no_skewing(self, parser):
+        rows = parser.parse("no-skewing")
+        assert len(rows) == 2  # one per statement
+        for coeffs, sense, rhs in rows:
+            assert sense == ">=" and rhs == -1
+            assert all(value == -1 for value in coeffs.values())
+
+    def test_named_no_parameter_shift(self, parser):
+        rows = parser.parse("no-parameter-shift")
+        assert all(sense == "==" for _, sense, _ in rows)
+
+    def test_unknown_symbol(self, parser):
+        with pytest.raises(ConfigurationError):
+            parser.parse("y >= 0")
+
+    def test_missing_relation(self, parser):
+        with pytest.raises(ConfigurationError):
+            parser.parse("S0_it_0 + 1")
+
+    def test_unknown_statement_index(self, parser):
+        with pytest.raises(ConfigurationError):
+            parser.parse("S9_it_0 >= 0")
+
+    def test_parse_all_flattens(self, parser):
+        rows = parser.parse_all(["S0_it_0 >= 0", "S1_it_0 >= 0"])
+        assert len(rows) == 2

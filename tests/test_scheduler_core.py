@@ -1,0 +1,198 @@
+"""Behavioural tests of the PolyTOPS scheduler (Algorithm 1) and its configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deps import compute_dependences
+from repro.scheduler import (
+    Directive,
+    FusionSpec,
+    PolyTOPSScheduler,
+    SchedulerConfig,
+    SchedulingError,
+    isl_style,
+    kernel_specific,
+    pluto_style,
+    tensor_scheduler_style,
+)
+from repro.transform import detect_parallel_dimensions, schedule_is_legal
+
+
+def _schedule(scop, config=None):
+    deps = compute_dependences(scop)
+    result = PolyTOPSScheduler(scop, config or pluto_style(), dependences=deps).schedule()
+    return result, deps
+
+
+class TestBasicScheduling:
+    def test_gemm_pluto_style_is_legal(self, gemm_scop):
+        result, _ = _schedule(gemm_scop)
+        assert not result.fallback_to_original
+        assert schedule_is_legal(result.schedule, result.dependences)
+
+    def test_gemm_schedules_have_equal_dimensionality(self, gemm_scop):
+        result, _ = _schedule(gemm_scop)
+        dims = {s.n_dims for s in result.schedule.statements.values()}
+        assert len(dims) == 1
+
+    def test_gemm_has_outer_parallel_dimension(self, gemm_scop):
+        result, _ = _schedule(gemm_scop)
+        assert any(result.schedule.parallel_dims)
+
+    def test_jacobi_pluto_style_finds_skewing(self, jacobi_scop):
+        result, _ = _schedule(jacobi_scop)
+        assert not result.fallback_to_original
+        assert schedule_is_legal(result.schedule, result.dependences)
+        # Pluto-style time-skews jacobi-1d: some row mixes t and the space iterator.
+        skewed = False
+        for statement in jacobi_scop.statements:
+            for row in result.schedule.rows_for(statement.name):
+                iterator_terms = [
+                    name for name in statement.iterators if row.coefficient(name) != 0
+                ]
+                if len(iterator_terms) > 1:
+                    skewed = True
+        assert skewed
+
+    def test_jacobi_tensor_style_avoids_skewing(self, jacobi_scop):
+        result, _ = _schedule(jacobi_scop, tensor_scheduler_style())
+        for statement in jacobi_scop.statements:
+            for row in result.schedule.rows_for(statement.name):
+                iterator_terms = [
+                    name for name in statement.iterators if row.coefficient(name) != 0
+                ]
+                assert len(iterator_terms) <= 1
+        assert schedule_is_legal(result.schedule, result.dependences)
+
+    def test_listing1_tensor_style_interchanges_statement0(self, listing1_scop):
+        result, _ = _schedule(listing1_scop, tensor_scheduler_style())
+        rows_s0 = result.schedule.rows_for("S0")
+        # The paper's motivating transformation: S0 is interchanged so that its
+        # innermost dimension is the contiguous iterator i (c[j][i]).
+        inner = rows_s0[-1] if rows_s0[-1].coefficients else rows_s0[-2]
+        assert inner.coefficient("i") != 0
+        outer = rows_s0[0]
+        assert outer.coefficient("j") != 0
+
+    def test_sequence_is_fused_by_proximity(self, sequence_scop):
+        result, _ = _schedule(sequence_scop)
+        assert schedule_is_legal(result.schedule, result.dependences)
+        # Proximity pulls the three producer/consumer statements together: at
+        # the loop dimension they share the same affine form of their iterator.
+        assert result.schedule.n_dims <= 3
+
+    def test_isl_style_runs_and_is_legal(self, jacobi_scop):
+        result, _ = _schedule(jacobi_scop, isl_style())
+        assert schedule_is_legal(result.schedule, result.dependences)
+
+    def test_statistics_reported(self, gemm_scop):
+        result, _ = _schedule(gemm_scop)
+        assert result.statistics["ilp_solved"] >= 1
+        assert result.statistics["dimensions"] == result.schedule.n_dims
+
+
+class TestFusionControl:
+    def test_forced_total_distribution(self, sequence_scop):
+        config = kernel_specific(
+            name="distribute-all",
+            fusion=(FusionSpec(dimension=0, total_distribution=True),),
+        )
+        result, _ = _schedule(sequence_scop, config)
+        assert schedule_is_legal(result.schedule, result.dependences)
+        # Dimension 0 must be a scalar dimension with three distinct values.
+        values = {
+            int(result.schedule.rows_for(name)[0].constant) for name in ("S0", "S1", "S2")
+        }
+        assert len(values) == 3
+
+    def test_explicit_fusion_groups(self, sequence_scop):
+        config = kernel_specific(
+            name="fuse-first-two",
+            fusion=(FusionSpec(dimension=0, groups=(("0", "1"), ("2",))),),
+        )
+        result, _ = _schedule(sequence_scop, config)
+        row0 = {name: int(result.schedule.rows_for(name)[0].constant) for name in ("S0", "S1", "S2")}
+        assert row0["S0"] == row0["S1"] != row0["S2"]
+
+    def test_illegal_fusion_order_raises(self, sequence_scop):
+        config = kernel_specific(
+            name="illegal",
+            fusion=(FusionSpec(dimension=0, groups=(("2",), ("0", "1"))),),
+        )
+        deps = compute_dependences(sequence_scop)
+        with pytest.raises(SchedulingError):
+            PolyTOPSScheduler(sequence_scop, config, dependences=deps).schedule()
+
+    def test_dimensionality_heuristic_distributes_gemm(self, gemm_scop):
+        result, _ = _schedule(gemm_scop)
+        # S0 (depth 2) and S1 (depth 3) are separated at the outermost scalar dim.
+        first_s0 = result.schedule.rows_for("S0")[0]
+        first_s1 = result.schedule.rows_for("S1")[0]
+        assert first_s0.is_constant() and first_s1.is_constant()
+        assert first_s0.constant != first_s1.constant
+
+
+class TestDirectivesAndConstraints:
+    def test_vectorize_directive_recorded(self, gemm_scop):
+        config = kernel_specific(
+            name="vec",
+            directives=(Directive(kind="vectorize", statements=("1",), iterator="j"),),
+        )
+        result, _ = _schedule(gemm_scop, config)
+        assert result.schedule.vectorized.get("S1") == "j"
+        assert schedule_is_legal(result.schedule, result.dependences)
+
+    def test_auto_vectorization_detects_contiguous_iterator(self, gemm_scop):
+        config = kernel_specific(name="autovec", auto_vectorize=True)
+        result, _ = _schedule(gemm_scop, config)
+        assert result.schedule.vectorized.get("S1") == "j"
+
+    def test_illegal_directive_is_dropped(self, jacobi_scop):
+        # Asking for the time loop to be parallel cannot be satisfied; the
+        # scheduler must drop the directive rather than fail.
+        config = kernel_specific(
+            name="bad-directive",
+            directives=(Directive(kind="parallel", statements=("0", "1")),),
+        )
+        result, _ = _schedule(jacobi_scop, config)
+        assert not result.fallback_to_original
+        assert schedule_is_legal(result.schedule, result.dependences)
+
+    def test_custom_constraint_disables_skewing(self, jacobi_scop):
+        config = kernel_specific(name="noskew", constraints=("no-skewing",))
+        result, _ = _schedule(jacobi_scop, config)
+        for statement in jacobi_scop.statements:
+            for row in result.schedule.rows_for(statement.name):
+                nonzero = [n for n in statement.iterators if row.coefficient(n) != 0]
+                assert len(nonzero) <= 1
+
+    def test_custom_constraint_on_specific_coefficient(self, gemm_scop):
+        # Force the k coefficient of S1 to stay zero on every dimension except
+        # the last one it needs; combined with legality this pushes k innermost.
+        config = kernel_specific(name="custom", constraints=("S1_it_0 >= 0",))
+        result, _ = _schedule(gemm_scop, config)
+        assert schedule_is_legal(result.schedule, result.dependences)
+
+
+class TestResultBookkeeping:
+    def test_all_dependences_strongly_satisfied_for_gemm(self, gemm_scop):
+        result, _ = _schedule(gemm_scop)
+        assert result.unsatisfied_dependences() == []
+
+    def test_parallel_detection_matches_recomputation(self, gemm_scop):
+        result, _ = _schedule(gemm_scop)
+        recomputed = detect_parallel_dimensions(result.schedule, result.dependences)
+        assert recomputed == list(result.schedule.parallel_dims)
+
+    def test_scheduler_with_explicit_dependences(self, gemm_scop):
+        deps = compute_dependences(gemm_scop)
+        result = PolyTOPSScheduler(gemm_scop, pluto_style(), dependences=deps).schedule()
+        assert len(result.dependences) <= len(deps)  # duplicates are merged
+
+    def test_empty_scop(self):
+        from repro.model import ScopBuilder
+
+        scop = ScopBuilder("empty").build()
+        result = PolyTOPSScheduler(scop, pluto_style(), dependences=[]).schedule()
+        assert result.schedule.n_dims == 0
