@@ -1,13 +1,50 @@
 """PolyTOPS reproduction: a reconfigurable and flexible polyhedral scheduler.
 
-The public API re-exports the most commonly used entry points:
+The primary entry point is the unified compilation pipeline:
 
-* building SCoPs (:mod:`repro.model`, :mod:`repro.frontend`),
+.. code-block:: python
+
+    import repro
+
+    result = repro.compile(scop, config, machine="Intel1")
+    session = repro.Session(machine="Intel1")
+    results = session.compile_many(jobs, parallel=4)
+
+Lower layers remain importable individually:
+
+* building SCoPs (:mod:`repro.model`),
 * dependence analysis (:mod:`repro.deps`),
 * the configurable scheduler (:mod:`repro.scheduler`),
-* post-processing, code generation and the machine model used for evaluation.
+* post-processing (:mod:`repro.transform`), code generation
+  (:mod:`repro.codegen`) and the machine models (:mod:`repro.machine`).
 """
 
-__version__ = "1.0.0"
+from . import pipeline
+from .deps import compute_dependences
+from .machine import estimate_cycles, machine_by_name
+from .model import Schedule, Scop, ScopBuilder
+from .pipeline import CompilationJob, CompilationResult, Session
+from .pipeline import compile as compile  # noqa: A001 - intentional front door
+from .pipeline import compile_many
+from .scheduler import PolyTOPSScheduler, SchedulerConfig, SchedulingResult
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "pipeline",
+    "compile",
+    "compile_many",
+    "Session",
+    "CompilationJob",
+    "CompilationResult",
+    "ScopBuilder",
+    "Scop",
+    "Schedule",
+    "compute_dependences",
+    "PolyTOPSScheduler",
+    "SchedulingResult",
+    "SchedulerConfig",
+    "machine_by_name",
+    "estimate_cycles",
+]

@@ -1,12 +1,13 @@
 """Dependence analysis: exact dependence polyhedra and the dependence graph."""
 
-from .analysis import DependenceAnalysis, compute_dependences
+from .analysis import DependenceAnalysis, compute_dependences, deduplicate_dependences
 from .dependence import SOURCE_SUFFIX, TARGET_SUFFIX, Dependence, DependenceKind
 from .graph import DependenceGraph
 
 __all__ = [
     "DependenceAnalysis",
     "compute_dependences",
+    "deduplicate_dependences",
     "Dependence",
     "DependenceKind",
     "DependenceGraph",

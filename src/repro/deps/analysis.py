@@ -23,7 +23,36 @@ from ..polyhedra.polyhedron import Polyhedron
 from ..polyhedra.space import Space
 from .dependence import SOURCE_SUFFIX, TARGET_SUFFIX, Dependence, DependenceKind
 
-__all__ = ["DependenceAnalysis", "compute_dependences"]
+__all__ = ["DependenceAnalysis", "compute_dependences", "deduplicate_dependences"]
+
+
+def deduplicate_dependences(dependences: Sequence[Dependence]) -> list[Dependence]:
+    """Drop dependences whose (source, target, polyhedron) repeats an earlier one.
+
+    Dependences that only differ by their kind (RAW/WAR/WAW on the same access
+    pair) impose identical scheduling constraints; keeping one representative
+    each keeps the scheduler's ILPs small.
+    """
+    seen: set[tuple] = set()
+    unique: list[Dependence] = []
+    for dependence in dependences:
+        signature = (
+            dependence.source,
+            dependence.target,
+            frozenset(
+                (
+                    constraint.kind,
+                    frozenset(constraint.expression.coefficients.items()),
+                    constraint.expression.constant,
+                )
+                for constraint in dependence.polyhedron.constraints
+            ),
+        )
+        if signature in seen:
+            continue
+        seen.add(signature)
+        unique.append(dependence)
+    return unique
 
 
 @dataclass
@@ -150,7 +179,16 @@ def compute_dependences(
     include_flow: bool = True,
     include_anti: bool = True,
     include_output: bool = True,
+    deduplicate: bool = False,
 ) -> list[Dependence]:
-    """Compute the dependences of *scop* (flow, anti and output by default)."""
+    """Compute the dependences of *scop* (flow, anti and output by default).
+
+    With ``deduplicate=True`` dependences imposing identical scheduling
+    constraints (same source, target and polyhedron, differing only by kind)
+    are collapsed to one representative each.
+    """
     analysis = DependenceAnalysis(include_flow, include_anti, include_output)
-    return analysis.run(scop)
+    dependences = analysis.run(scop)
+    if deduplicate:
+        return deduplicate_dependences(dependences)
+    return dependences

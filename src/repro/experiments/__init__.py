@@ -7,7 +7,10 @@
 * :mod:`repro.experiments.table2` — PolyMage pipelines (Table II).
 
 Each module exposes ``run_*`` (structured results) and ``main`` (prints the
-table and optionally writes the CSV the paper's artifact produces).
+table and optionally writes the CSV the paper's artifact produces).  The
+drivers share dependence/evaluation caches through
+:class:`repro.pipeline.Session`; :class:`ExperimentHarness` is the deprecated
+adapter kept for the old ``evaluate``-style call pattern.
 """
 
 from .harness import Evaluation, ExperimentHarness, geometric_mean

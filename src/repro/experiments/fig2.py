@@ -17,10 +17,11 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..machine.machine import MachineModel, machine_by_name
+from ..pipeline import EXPERIMENT_STAGES, Session
 from ..scheduler.baselines import PlutoBaseline
 from ..scheduler.strategies import isl_style, pluto_style, tensor_scheduler_style
 from ..suites.polybench import FIG2_KERNELS, build_kernel
-from .harness import ExperimentHarness, geometric_mean
+from .harness import geometric_mean
 from .kernel_configs import kernel_specific_candidates
 from .reporting import format_speedup, format_table, write_csv
 
@@ -58,18 +59,18 @@ def run_fig2(
 ) -> list[Fig2Row]:
     """Evaluate the Fig. 2 strategies on *kernels* for one machine."""
     machine = machine_by_name(machine) if isinstance(machine, str) else machine
-    harness = ExperimentHarness(machine)
+    session = Session(machine=machine, stages=EXPERIMENT_STAGES)
     rows: list[Fig2Row] = []
     for kernel in kernels:
         scop = build_kernel(kernel)
-        pluto = harness.evaluate_baseline(scop, PlutoBaseline())
+        pluto = session.compile_baseline(scop, PlutoBaseline())
         row = Fig2Row(kernel=kernel, machine=machine.name, pluto_cycles=pluto.cycles)
-        row.speedups["pluto-style"] = pluto.cycles / harness.evaluate(scop, pluto_style()).cycles
+        row.speedups["pluto-style"] = pluto.cycles / session.compile(scop, pluto_style()).cycles
         row.speedups["tensor-scheduler-style"] = (
-            pluto.cycles / harness.evaluate(scop, tensor_scheduler_style()).cycles
+            pluto.cycles / session.compile(scop, tensor_scheduler_style()).cycles
         )
-        row.speedups["isl-style"] = pluto.cycles / harness.evaluate(scop, isl_style()).cycles
-        kernel_spec = harness.evaluate_best(
+        row.speedups["isl-style"] = pluto.cycles / session.compile(scop, isl_style()).cycles
+        kernel_spec = session.compile_best(
             scop, kernel_specific_candidates(kernel), label="kernel-spec"
         )
         row.speedups["kernel-spec"] = pluto.cycles / kernel_spec.cycles

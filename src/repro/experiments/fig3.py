@@ -22,10 +22,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..machine.machine import MachineModel, machine_by_name
+from ..pipeline import EXPERIMENT_STAGES, Session
 from ..scheduler.baselines import PlutoBaseline
 from ..scheduler.strategies import kernel_specific, pluto_style
 from ..suites.polybench import jacobi_1d
-from .harness import ExperimentHarness
 from .reporting import format_speedup, format_table, write_csv
 
 __all__ = ["Fig3Point", "SIZE_LABELS", "run_fig3", "main"]
@@ -72,13 +72,13 @@ def run_fig3(
 ) -> list[Fig3Point]:
     """Evaluate jacobi-1d at every dataset size."""
     machine = machine_by_name(machine) if isinstance(machine, str) else machine
+    session = Session(machine=machine, stages=EXPERIMENT_STAGES)
     points: list[Fig3Point] = []
     for label, scale in sizes:
         scop = jacobi_1d(tsteps=max(4, int(base_tsteps * scale**0.5)), n=max(8, int(base_n * scale)))
-        harness = ExperimentHarness(machine)
-        pluto = harness.evaluate_baseline(scop, PlutoBaseline())
-        dedicated = harness.evaluate(scop, _dedicated_configuration())
-        pluto_like = harness.evaluate(scop, pluto_style())
+        pluto = session.compile_baseline(scop, PlutoBaseline())
+        dedicated = session.compile(scop, _dedicated_configuration())
+        pluto_like = session.compile(scop, pluto_style())
         points.append(
             Fig3Point(
                 size_label=label,

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..machine.machine import MachineModel, machine_by_name
+from ..pipeline import EXPERIMENT_STAGES, Session
 from ..scheduler.baselines import (
     IslPpcgBaseline,
     PlutoBaseline,
@@ -19,7 +20,7 @@ from ..scheduler.baselines import (
     PlutoPlusBaseline,
 )
 from ..suites.polybench import FIG2_KERNELS, build_kernel
-from .harness import ExperimentHarness, geometric_mean
+from .harness import geometric_mean
 from .kernel_configs import kernel_specific_candidates
 from .reporting import format_speedup, format_table, write_csv
 
@@ -43,16 +44,16 @@ def run_fig4(
 ) -> list[Fig4Row]:
     """Evaluate all tools on *kernels* (Intel1 model by default)."""
     machine = machine_by_name(machine) if isinstance(machine, str) else machine
-    harness = ExperimentHarness(machine)
+    session = Session(machine=machine, stages=EXPERIMENT_STAGES)
     rows: list[Fig4Row] = []
     for kernel in kernels:
         scop = build_kernel(kernel)
-        pluto = harness.evaluate_baseline(scop, PlutoBaseline())
+        pluto = session.compile_baseline(scop, PlutoBaseline())
         row = Fig4Row(kernel=kernel, pluto_cycles=pluto.cycles)
         for baseline in (PlutoLpDfpBaseline(), PlutoPlusBaseline(), IslPpcgBaseline()):
-            evaluation = harness.evaluate_baseline(scop, baseline)
-            row.speedups[baseline.name] = pluto.cycles / evaluation.cycles
-        polytops = harness.evaluate_best(
+            result = session.compile_baseline(scop, baseline)
+            row.speedups[baseline.name] = pluto.cycles / result.cycles
+        polytops = session.compile_best(
             scop, kernel_specific_candidates(kernel), label="polytops"
         )
         row.speedups["polytops"] = pluto.cycles / polytops.cycles

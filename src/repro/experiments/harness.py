@@ -1,10 +1,11 @@
-"""Shared experiment harness.
+"""Shared experiment harness (thin shim over :mod:`repro.pipeline`).
 
-One evaluation = schedule the kernel with a configuration, post-process
-(parallelism detection, optional wavefront skewing, optional tiling), generate
-code, execute it on the machine model's cache simulator and return the
-estimated cycles.  The harness memoises evaluations per (kernel, configuration,
-machine) so that benchmark reruns and the "best-of" selections stay cheap.
+Historically this module owned its own dependence/evaluation caches; that
+logic now lives in :class:`repro.pipeline.Session`, which every experiment
+driver uses directly.  :class:`ExperimentHarness` remains as a deprecation
+shim for the old call pattern (``evaluate`` / ``evaluate_best`` /
+``evaluate_baseline`` returning :class:`Evaluation` objects) and delegates
+all caching to its session.
 """
 
 from __future__ import annotations
@@ -12,17 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from ..deps.analysis import compute_dependences
-from ..machine.cost_model import CostModel, PerformanceReport
+from ..machine.cost_model import PerformanceReport
 from ..machine.machine import MachineModel
 from ..model.scop import Scop
+from ..pipeline.result import CompilationResult
+from ..pipeline.session import Session
+from ..pipeline.stages import EXPERIMENT_STAGES
 from ..scheduler.baselines import Baseline
 from ..scheduler.config import SchedulerConfig
-from ..scheduler.core import PolyTOPSScheduler, SchedulingResult
-from ..scheduler.errors import SchedulingError
-from ..transform.parallelism import detect_parallel_dimensions
-from ..transform.tiling import compute_tiling
-from ..transform.wavefront import apply_wavefront
+from ..scheduler.core import SchedulingResult
 
 __all__ = ["Evaluation", "ExperimentHarness", "geometric_mean"]
 
@@ -38,6 +37,25 @@ class Evaluation:
     report: PerformanceReport
     scheduling: SchedulingResult
     failed: bool = False
+    result: CompilationResult | None = None
+
+    @classmethod
+    def from_result(cls, result: CompilationResult) -> "Evaluation":
+        if result.cycles is None or result.report is None:
+            raise ValueError(
+                "an Evaluation needs an evaluated result: use a session whose "
+                "pipeline includes the 'evaluate' stage and a machine model"
+            )
+        return cls(
+            kernel=result.kernel,
+            configuration=result.configuration,
+            machine=result.machine or "",
+            cycles=result.cycles,
+            report=result.report,
+            scheduling=result.scheduling,
+            failed=result.failed,
+            result=result,
+        )
 
     def speedup_over(self, other: "Evaluation") -> float:
         if self.cycles <= 0:
@@ -47,24 +65,53 @@ class Evaluation:
 
 @dataclass
 class ExperimentHarness:
-    """Schedules and simulates kernels on one machine model."""
+    """Schedules and simulates kernels on one machine model.
+
+    Deprecated in favour of :class:`repro.pipeline.Session`; kept as a thin
+    adapter so existing callers and notebooks keep working.
+    """
 
     machine: MachineModel
     apply_wavefront_skewing: bool = True
     use_tiling: bool = False
     tile_sizes: Sequence[int] = (8, 8, 8)
-    _dependence_cache: dict[str, list] = field(default_factory=dict)
-    _evaluation_cache: dict[tuple[str, str], Evaluation] = field(default_factory=dict)
+    session: Session | None = None
+    _views: dict[tuple, Evaluation] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._owns_session = self.session is None
+        if self.session is None:
+            self.session = Session(
+                machine=self.machine,
+                stages=EXPERIMENT_STAGES,
+                apply_wavefront_skewing=self.apply_wavefront_skewing,
+                use_tiling=self.use_tiling,
+                tile_sizes=tuple(self.tile_sizes),
+            )
+        else:
+            # An explicitly injected session is authoritative: mirror its
+            # knobs so the harness fields never silently disagree with what
+            # the session actually does.
+            self.apply_wavefront_skewing = self.session.apply_wavefront_skewing
+            self.use_tiling = self.session.use_tiling
+            self.tile_sizes = tuple(self.session.tile_sizes)
+
+    def _sync_session(self) -> None:
+        """Propagate post-construction knob mutations (historical behaviour:
+        the old harness read these fields on every evaluate call).
+
+        Only sessions this harness created are written to; an injected
+        session stays authoritative over its own knobs.
+        """
+        if not self._owns_session:
+            return
+        self.session.apply_wavefront_skewing = self.apply_wavefront_skewing
+        self.session.use_tiling = self.use_tiling
+        self.session.tile_sizes = tuple(self.tile_sizes)
 
     # ------------------------------------------------------------------ #
     # Single evaluations
     # ------------------------------------------------------------------ #
-    def dependences_for(self, scop: Scop):
-        key = scop.name + ":" + ",".join(f"{k}={v}" for k, v in sorted(scop.parameter_values.items()))
-        if key not in self._dependence_cache:
-            self._dependence_cache[key] = compute_dependences(scop)
-        return self._dependence_cache[key]
-
     def evaluate(
         self,
         scop: Scop,
@@ -73,42 +120,11 @@ class ExperimentHarness:
         label: str | None = None,
     ) -> Evaluation:
         """Schedule *scop* with *config* and estimate its cycles on the machine."""
-        label = label or config.name
-        cache_key = (self._scop_key(scop, parameter_values), label)
-        if cache_key in self._evaluation_cache:
-            return self._evaluation_cache[cache_key]
-
-        dependences = self.dependences_for(scop)
-        try:
-            scheduler = PolyTOPSScheduler(scop, config, dependences=dependences)
-            result = scheduler.schedule()
-        except SchedulingError:
-            result = SchedulingResult(
-                scop.original_schedule(), list(dependences), {}, True, {}
-            )
-        schedule = result.schedule
-        if not schedule.parallel_dims or len(schedule.parallel_dims) < schedule.n_dims:
-            schedule.parallel_dims = detect_parallel_dimensions(schedule, result.dependences)
-        if self.apply_wavefront_skewing:
-            schedule, _changed = apply_wavefront(schedule, result.dependences)
-        tiling = None
-        if self.use_tiling or config.tile_sizes:
-            sizes = config.tile_sizes or tuple(self.tile_sizes)
-            tiling = compute_tiling(schedule, result.dependences, sizes)
-        report = CostModel(self.machine).evaluate(
-            scop, schedule, tiling, parameter_values
+        self._sync_session()
+        result = self.session.compile(
+            scop, config, parameter_values=parameter_values, label=label
         )
-        evaluation = Evaluation(
-            kernel=scop.name,
-            configuration=label,
-            machine=self.machine.name,
-            cycles=report.cycles,
-            report=report,
-            scheduling=result,
-            failed=result.fallback_to_original,
-        )
-        self._evaluation_cache[cache_key] = evaluation
-        return evaluation
+        return self._view(result)
 
     def evaluate_best(
         self,
@@ -118,24 +134,11 @@ class ExperimentHarness:
         label: str = "best",
     ) -> Evaluation:
         """Evaluate several configurations and keep the fastest (paper's 'best of')."""
-        best: Evaluation | None = None
-        for config in configs:
-            evaluation = self.evaluate(scop, config, parameter_values)
-            if best is None or evaluation.cycles < best.cycles:
-                best = evaluation
-        if best is None:
-            raise ValueError("evaluate_best needs at least one configuration")
-        renamed = Evaluation(
-            kernel=best.kernel,
-            configuration=label,
-            machine=best.machine,
-            cycles=best.cycles,
-            report=best.report,
-            scheduling=best.scheduling,
-            failed=best.failed,
+        self._sync_session()
+        result = self.session.compile_best(
+            scop, configs, parameter_values=parameter_values, label=label
         )
-        self._evaluation_cache[(self._scop_key(scop, parameter_values), label)] = renamed
-        return renamed
+        return self._view(result)
 
     def evaluate_baseline(
         self,
@@ -144,19 +147,23 @@ class ExperimentHarness:
         parameter_values: Mapping[str, int] | None = None,
     ) -> Evaluation:
         """Evaluate a baseline scheduler (best over its candidate configurations)."""
-        return self.evaluate_best(
-            scop, baseline.configs(), parameter_values, label=baseline.name
+        self._sync_session()
+        result = self.session.compile_baseline(
+            scop, baseline, parameter_values=parameter_values
         )
+        return self._view(result)
 
-    # ------------------------------------------------------------------ #
-    # Helpers
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _scop_key(scop: Scop, parameter_values: Mapping[str, int] | None) -> str:
-        values = dict(scop.parameter_values)
-        if parameter_values:
-            values.update(parameter_values)
-        return scop.name + ":" + ",".join(f"{k}={v}" for k, v in sorted(values.items()))
+    def _view(self, result: CompilationResult) -> Evaluation:
+        """One stable :class:`Evaluation` per cached pipeline result.
+
+        The session memoises :class:`CompilationResult` objects; interning the
+        wrapper per result keeps the historical identity guarantee that two
+        equal ``evaluate`` calls return the *same* object.
+        """
+        key = (id(result), result.configuration)
+        if key not in self._views:
+            self._views[key] = Evaluation.from_result(result)
+        return self._views[key]
 
 
 def geometric_mean(values: Sequence[float]) -> float:

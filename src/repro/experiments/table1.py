@@ -19,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..machine.machine import ascend_910
+from ..pipeline import EXPERIMENT_STAGES, Session
 from ..scheduler.strategies import isl_style, npu_vectorize_style
 from ..suites.custom_ops import TABLE1_CASES, build_case
-from .harness import ExperimentHarness, geometric_mean
+from .harness import geometric_mean
 from .reporting import format_speedup, format_table, write_csv
 
 __all__ = ["Table1Row", "run_table1", "main"]
@@ -43,12 +44,14 @@ class Table1Row:
 
 def run_table1(cases=None) -> list[Table1Row]:
     """Evaluate the Table I cases and return one row per operator/size."""
-    harness = ExperimentHarness(ascend_910(), apply_wavefront_skewing=False)
+    session = Session(
+        machine=ascend_910(), stages=EXPERIMENT_STAGES, apply_wavefront_skewing=False
+    )
     rows: list[Table1Row] = []
     for operator, size, arguments in (cases or TABLE1_CASES):
         scop = build_case(operator, **arguments)
-        baseline = harness.evaluate(scop, isl_style(), label="isl")
-        variant = harness.evaluate(scop, npu_vectorize_style(), label="polytops")
+        baseline = session.compile(scop, isl_style(), label="isl")
+        variant = session.compile(scop, npu_vectorize_style(), label="polytops")
         rows.append(
             Table1Row(
                 operator=operator,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..machine.machine import MachineModel, machine_by_name
+from ..pipeline import EXPERIMENT_STAGES, Session
 from ..scheduler.baselines import (
     IslPpcgBaseline,
     PlutoBaseline,
@@ -21,7 +22,6 @@ from ..scheduler.baselines import (
     PlutoPlusBaseline,
 )
 from ..suites.polymage import POLYMAGE_PIPELINES, build_pipeline
-from .harness import ExperimentHarness
 from .kernel_configs import kernel_specific_candidates
 from .reporting import format_speedup, format_table, write_csv
 
@@ -59,12 +59,12 @@ def run_table2(
 ) -> list[Table2Row]:
     """Evaluate the PolyMage pipelines with every tool."""
     machine = machine_by_name(machine) if isinstance(machine, str) else machine
-    harness = ExperimentHarness(machine)
+    session = Session(machine=machine, stages=EXPERIMENT_STAGES)
     rows: list[Table2Row] = []
     for benchmark in benchmarks:
         scop = build_pipeline(benchmark)
         row = Table2Row(benchmark=benchmark)
-        polytops = harness.evaluate_best(
+        polytops = session.compile_best(
             scop, kernel_specific_candidates(benchmark), label="polytops"
         )
         row.timings_ms["polytops"] = polytops.report.milliseconds
@@ -77,8 +77,8 @@ def run_table2(
             if benchmark in UNSUPPORTED.get(baseline.name, set()):
                 row.timings_ms[baseline.name] = None
                 continue
-            evaluation = harness.evaluate_baseline(scop, baseline)
-            row.timings_ms[baseline.name] = evaluation.report.milliseconds
+            result = session.compile_baseline(scop, baseline)
+            row.timings_ms[baseline.name] = result.report.milliseconds
         rows.append(row)
     return rows
 

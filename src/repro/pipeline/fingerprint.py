@@ -1,0 +1,112 @@
+"""Stable fingerprints for SCoPs and scheduler configurations.
+
+The session caches (:mod:`repro.pipeline.session`) are keyed by *content*, not
+by object identity: two structurally identical SCoPs — e.g. the same PolyBench
+kernel built twice — share one cache entry, and two configurations serialising
+to the same JSON document are treated as the same configuration.
+
+The structural SCoP fingerprint deliberately ignores the concrete parameter
+values: dependence analysis is symbolic, so the dependences of ``gemm`` with
+``NI=16`` and ``NI=1024`` are identical.  The concrete values only enter the
+*result* cache key (via :func:`parameter_values_key`), because the machine
+model evaluates on concrete problem sizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+from ..model.scop import Scop
+from ..polyhedra.affine import AffineExpr
+from ..polyhedra.constraint import AffineConstraint
+from ..scheduler.config import SchedulerConfig
+
+__all__ = [
+    "scop_fingerprint",
+    "config_fingerprint",
+    "machine_fingerprint",
+    "parameter_values_key",
+]
+
+
+def _expr_token(expression: AffineExpr) -> tuple:
+    return (
+        tuple(sorted((name, str(value)) for name, value in expression.coefficients.items())),
+        str(expression.constant),
+    )
+
+
+def _constraint_token(constraint: AffineConstraint) -> tuple:
+    return (constraint.kind, _expr_token(constraint.expression))
+
+
+def scop_fingerprint(scop: Scop) -> str:
+    """A stable hash of the SCoP's structure (domains, accesses, ordering).
+
+    Statement bodies and source text are excluded: they do not influence
+    dependence analysis, scheduling or the trace-driven cost model.
+    """
+    statements = []
+    for statement in scop.statements:
+        statements.append(
+            (
+                statement.name,
+                statement.index,
+                statement.iterators,
+                statement.parameters,
+                tuple(sorted(_constraint_token(c) for c in statement.domain.constraints)),
+                tuple(_expr_token(row) for row in statement.original_schedule),
+                tuple(
+                    (
+                        access.array,
+                        str(access.kind),
+                        tuple(_expr_token(index) for index in access.indices),
+                    )
+                    for access in statement.accesses
+                ),
+            )
+        )
+    payload = repr(
+        (
+            scop.name,
+            scop.parameters,
+            tuple(sorted(_constraint_token(c) for c in scop.context)),
+            tuple(
+                (name, tuple(_expr_token(e) for e in shape))
+                for name, shape in sorted(scop.arrays.items())
+            ),
+            tuple(statements),
+        )
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+def config_fingerprint(config: SchedulerConfig) -> str:
+    """A stable hash of the *static* part of a configuration.
+
+    The JSON serialisation captures everything except the dynamic strategy
+    callback; callers that must distinguish callbacks (the session result
+    cache) additionally key on the callback object itself.
+    """
+    return hashlib.sha1(config.to_json().encode()).hexdigest()
+
+
+def machine_fingerprint(machine) -> str:
+    """A stable hash of a machine model's full parameter set.
+
+    Keying caches on the name alone would let two models sharing a name (e.g.
+    a ``dataclasses.replace``-tweaked variant in a machine-parameter sweep)
+    collide; the dataclass repr covers every field deterministically.
+    """
+    return hashlib.sha1(repr(machine).encode()).hexdigest()
+
+
+def parameter_values_key(
+    scop: Scop, parameter_values: Mapping[str, int] | None = None
+) -> tuple[tuple[str, int], ...]:
+    """The concrete parameter values (defaults + overrides) as a hashable key."""
+    values = dict(scop.parameter_values)
+    if parameter_values:
+        values.update(parameter_values)
+    return tuple(sorted(values.items()))

@@ -1,0 +1,102 @@
+"""Structured outcomes of the compilation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..deps.dependence import Dependence
+from ..machine.cost_model import PerformanceReport
+from ..machine.machine import MachineModel
+from ..model.schedule import Schedule
+from ..model.scop import Scop
+from ..scheduler.config import SchedulerConfig
+from ..scheduler.core import SchedulingResult
+from ..transform.tiling import TilingSpec
+
+__all__ = ["CompilationJob", "CompilationResult"]
+
+
+@dataclass(frozen=True)
+class CompilationJob:
+    """One unit of work for :meth:`repro.pipeline.Session.compile_many`."""
+
+    scop: Scop
+    config: SchedulerConfig | None = None
+    machine: MachineModel | str | None = None
+    parameter_values: Mapping[str, int] | None = None
+    label: str | None = None
+
+
+@dataclass
+class CompilationResult:
+    """Everything the pipeline produced for one (SCoP, configuration) pair.
+
+    ``legal``, ``generated_c`` and ``report`` are ``None`` when the
+    corresponding stage was not part of the session's pipeline (or, for the
+    evaluation report, when no machine model was provided).
+    """
+
+    kernel: str
+    configuration: str
+    machine: str | None
+    schedule: Schedule
+    scheduling: SchedulingResult | None
+    dependences: list[Dependence] = field(default_factory=list)
+    legal: bool | None = None
+    tiling: TilingSpec | None = None
+    generated_c: str | None = None
+    report: PerformanceReport | None = None
+    cycles: float | None = None
+    stage_timings: dict[str, float] = field(default_factory=dict)
+    diagnostics: list[str] = field(default_factory=list)
+    failed: bool = False
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the pipeline produced a schedule without falling back."""
+        return not self.failed
+
+    def relabeled(self, label: str) -> "CompilationResult":
+        """A copy reported under a different configuration label.
+
+        The mutable containers are copied so a caller appending to one view's
+        diagnostics cannot corrupt the session-cached base result; the heavy
+        artifacts (schedule, report, dependence objects) stay shared.
+        """
+        if label == self.configuration:
+            return self
+        return replace(
+            self,
+            configuration=label,
+            dependences=list(self.dependences),
+            stage_timings=dict(self.stage_timings),
+            diagnostics=list(self.diagnostics),
+        )
+
+    def speedup_over(self, other: "CompilationResult") -> float:
+        """``other.cycles / self.cycles`` (how much faster *self* is)."""
+        if self.cycles is None or other.cycles is None:
+            raise ValueError("speedup_over needs evaluated results (cycles set)")
+        if self.cycles <= 0:
+            return float("inf")
+        return other.cycles / self.cycles
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable digest (used by examples and logs)."""
+        lines = [f"{self.kernel} / {self.configuration}"]
+        if self.machine:
+            lines[-1] += f" on {self.machine}"
+        if self.legal is not None:
+            lines.append(f"  legal: {self.legal}")
+        if self.cycles is not None:
+            lines.append(f"  estimated cycles: {self.cycles:,.0f}")
+        if self.stage_timings:
+            timed = ", ".join(
+                f"{name}={seconds * 1e3:.1f}ms" for name, seconds in self.stage_timings.items()
+            )
+            lines.append(f"  stages: {timed}")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  note: {diagnostic}")
+        return "\n".join(lines)

@@ -1,0 +1,409 @@
+"""Compilation sessions: shared caches, one-shot compiles and batch scheduling.
+
+A :class:`Session` is the front door of the reproduction.  It owns the
+cross-kernel caches (dependences and full compilation results, keyed by
+content fingerprints, see :mod:`repro.pipeline.fingerprint`) and runs a
+configurable stage pipeline (:mod:`repro.pipeline.stages`) for every compile.
+Whole suites are scheduled concurrently with :meth:`Session.compile_many`.
+
+The module-level :func:`compile` / :func:`compile_many` helpers operate on a
+shared default session, so repeated one-shot calls still benefit from the
+caches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Mapping, Sequence
+
+from ..deps.dependence import Dependence
+from ..machine.machine import MachineModel, machine_by_name
+from ..model.scop import Scop
+from ..scheduler.baselines import Baseline
+from ..scheduler.config import SchedulerConfig
+from ..scheduler.strategies import pluto_style
+from .fingerprint import (
+    config_fingerprint,
+    machine_fingerprint,
+    parameter_values_key,
+    scop_fingerprint,
+)
+from .result import CompilationJob, CompilationResult
+from .stages import DEFAULT_STAGES, PipelineContext, PipelineStage, resolve_stage
+
+__all__ = [
+    "Session",
+    "compile",
+    "compile_many",
+    "default_session",
+    "reset_default_session",
+]
+
+
+class Session:
+    """A compilation session with cross-kernel caches and batch scheduling.
+
+    Parameters
+    ----------
+    machine:
+        Default machine model (or its name) used by the ``evaluate`` stage
+        when a compile does not name one; ``None`` skips evaluation.
+    stages:
+        The pipeline, as stage names (resolved through the registry) or
+        :class:`PipelineStage` instances.
+    apply_wavefront_skewing / use_tiling / tile_sizes:
+        Post-processing knobs, identical to the historical experiment harness.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel | str | None = None,
+        *,
+        stages: Sequence[PipelineStage | str] = DEFAULT_STAGES,
+        apply_wavefront_skewing: bool = True,
+        use_tiling: bool = False,
+        tile_sizes: Sequence[int] = (8, 8, 8),
+    ):
+        self.machine = machine_by_name(machine) if isinstance(machine, str) else machine
+        self.stages: tuple[PipelineStage, ...] = tuple(
+            resolve_stage(stage) if isinstance(stage, str) else stage for stage in stages
+        )
+        self.apply_wavefront_skewing = apply_wavefront_skewing
+        self.use_tiling = use_tiling
+        self.tile_sizes = tuple(tile_sizes)
+        self._dependences: dict[str, list[Dependence]] = {}
+        self._results: dict[tuple, CompilationResult] = {}
+        self._lock = threading.RLock()
+        self.statistics = {
+            "dependence_hits": 0,
+            "dependence_misses": 0,
+            "result_hits": 0,
+            "result_misses": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cached dependence analysis
+    # ------------------------------------------------------------------ #
+    def dependences(self, scop: Scop) -> list[Dependence]:
+        """The dependences of *scop*, computed once per structural fingerprint."""
+        from ..deps.analysis import compute_dependences
+
+        fingerprint = scop_fingerprint(scop)
+        with self._lock:
+            if fingerprint in self._dependences:
+                self.statistics["dependence_hits"] += 1
+                return self._dependences[fingerprint]
+        # Compute outside the lock so concurrent compile_many workers analyse
+        # distinct kernels in parallel; a rare duplicated analysis of the same
+        # kernel is resolved by keeping the first stored list.
+        dependences = compute_dependences(scop)
+        with self._lock:
+            if fingerprint in self._dependences:
+                self.statistics["dependence_hits"] += 1
+            else:
+                self.statistics["dependence_misses"] += 1
+                self._dependences[fingerprint] = dependences
+            return self._dependences[fingerprint]
+
+    # ------------------------------------------------------------------ #
+    # One-shot compilation
+    # ------------------------------------------------------------------ #
+    def compile(
+        self,
+        scop: Scop,
+        config: SchedulerConfig | None = None,
+        machine: MachineModel | str | None = None,
+        parameter_values: Mapping[str, int] | None = None,
+        label: str | None = None,
+    ) -> CompilationResult:
+        """Run the full pipeline on (*scop*, *config*) and return the result.
+
+        Results are memoised: a second compile of the same SCoP with an
+        equivalent configuration (same serialised content, same machine, same
+        parameter values) returns the cached :class:`CompilationResult`.
+        """
+        config = config if config is not None else pluto_style()
+        machine = self._resolve_machine(machine)
+        label = label or config.name
+        key = self._result_key(scop, config, machine, parameter_values)
+        with self._lock:
+            base = self._results.get(key)
+            if base is not None:
+                self.statistics["result_hits"] += 1
+                return self._labeled(key, base, label)
+            self.statistics["result_misses"] += 1
+        result = self._run_pipeline(scop, config, machine, parameter_values, label)
+        with self._lock:
+            # Another thread may have raced us to the same key; keep one winner
+            # so repeated compiles keep returning the identical object.
+            base = self._results.setdefault(key, result)
+            return self._labeled(key, base, label)
+
+    def compile_best(
+        self,
+        scop: Scop,
+        configs: Iterable[SchedulerConfig],
+        machine: MachineModel | str | None = None,
+        parameter_values: Mapping[str, int] | None = None,
+        label: str = "best",
+    ) -> CompilationResult:
+        """Compile every candidate and keep the fastest (the paper's 'best of')."""
+        configs = list(configs)
+        if not configs:
+            raise ValueError("compile_best needs at least one configuration")
+        machine = self._resolve_machine(machine)
+        alias = (
+            "best-of",
+            scop_fingerprint(scop),
+            parameter_values_key(scop, parameter_values),
+            # Like the one-shot key: the JSON fingerprint plus the dynamic
+            # callback object, which the serialisation cannot see.
+            tuple(
+                (config_fingerprint(config), config.strategy_callback)
+                for config in configs
+            ),
+            machine_fingerprint(machine) if machine else None,
+            self._knobs(),
+            label,
+        )
+        with self._lock:
+            cached = self._results.get(alias)
+            if cached is not None:
+                self.statistics["result_hits"] += 1
+                return cached
+        best: CompilationResult | None = None
+        for config in configs:
+            result = self.compile(scop, config, machine, parameter_values)
+            if result.cycles is None:
+                raise ValueError(
+                    "compile_best needs an evaluating pipeline (machine model set)"
+                )
+            if best is None or result.cycles < best.cycles:
+                best = result
+        assert best is not None
+        relabeled = best.relabeled(label)
+        with self._lock:
+            return self._results.setdefault(alias, relabeled)
+
+    def compile_baseline(
+        self,
+        scop: Scop,
+        baseline: Baseline,
+        machine: MachineModel | str | None = None,
+        parameter_values: Mapping[str, int] | None = None,
+    ) -> CompilationResult:
+        """Compile a baseline scheduler (best over its candidate configurations)."""
+        return self.compile_best(
+            scop, baseline.configs(), machine, parameter_values, label=baseline.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batch scheduling
+    # ------------------------------------------------------------------ #
+    def compile_many(
+        self,
+        jobs: Iterable[CompilationJob | Scop | tuple],
+        parallel: int | None = None,
+    ) -> list[CompilationResult]:
+        """Compile a batch of jobs, preserving input order in the results.
+
+        ``parallel=N`` schedules the jobs on ``N`` worker threads (the caches
+        are thread-safe and shared across workers).  Failures of individual
+        jobs are captured as failed :class:`CompilationResult` entries instead
+        of aborting the whole batch.
+        """
+        normalized = [self._as_job(job) for job in jobs]
+        if parallel is not None and parallel > 1 and len(normalized) > 1:
+            with ThreadPoolExecutor(max_workers=parallel) as pool:
+                return list(pool.map(self._compile_job, normalized))
+        return [self._compile_job(job) for job in normalized]
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every cached dependence set and compilation result."""
+        with self._lock:
+            self._dependences.clear()
+            self._results.clear()
+
+    @property
+    def cached_results(self) -> int:
+        return len(self._results)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _resolve_machine(
+        self, machine: MachineModel | str | None
+    ) -> MachineModel | None:
+        if machine is None:
+            return self.machine
+        if isinstance(machine, str):
+            return machine_by_name(machine)
+        return machine
+
+    def _result_key(
+        self,
+        scop: Scop,
+        config: SchedulerConfig,
+        machine: MachineModel | None,
+        parameter_values: Mapping[str, int] | None,
+    ) -> tuple:
+        return (
+            scop_fingerprint(scop),
+            parameter_values_key(scop, parameter_values),
+            config_fingerprint(config),
+            # The callback is the dynamic part the JSON fingerprint cannot
+            # see; keying on the object itself also keeps it alive, so the
+            # key can never collide with a recycled id().
+            config.strategy_callback,
+            machine_fingerprint(machine) if machine else None,
+            # Post-processing knobs are mutable session state read at compile
+            # time; keying on them keeps a mutated session from serving
+            # results computed under the old knobs.
+            self._knobs(),
+        )
+
+    def _knobs(self) -> tuple:
+        return (self.apply_wavefront_skewing, self.use_tiling, tuple(self.tile_sizes))
+
+    def _labeled(self, key: tuple, base: CompilationResult, label: str) -> CompilationResult:
+        """Intern *base* under *label*: the display label must not force a
+        pipeline re-run, only a relabeled view of the cached result (lock held)."""
+        if base.configuration == label:
+            return base
+        alias = (key, label)
+        if alias not in self._results:
+            self._results[alias] = base.relabeled(label)
+        return self._results[alias]
+
+    def _run_pipeline(
+        self,
+        scop: Scop,
+        config: SchedulerConfig,
+        machine: MachineModel | None,
+        parameter_values: Mapping[str, int] | None,
+        label: str,
+    ) -> CompilationResult:
+        context = PipelineContext(
+            session=self,
+            scop=scop,
+            config=config,
+            machine=machine,
+            parameter_values=parameter_values,
+            label=label,
+            apply_wavefront_skewing=self.apply_wavefront_skewing,
+            use_tiling=self.use_tiling,
+            tile_sizes=self.tile_sizes,
+        )
+        for stage in self.stages:
+            start = time.perf_counter()
+            stage.run(context)
+            context.stage_timings[stage.name] = time.perf_counter() - start
+        if context.schedule is None:
+            context.schedule = scop.original_schedule()
+            context.diagnostics.append(
+                "no scheduling stage in the pipeline; reporting the original schedule"
+            )
+        return CompilationResult(
+            kernel=scop.name,
+            configuration=label,
+            machine=machine.name if machine else None,
+            schedule=context.schedule,
+            scheduling=context.scheduling,
+            dependences=list(context.dependences or ()),
+            legal=context.legal,
+            tiling=context.tiling,
+            generated_c=context.generated_c,
+            report=context.report,
+            cycles=context.report.cycles if context.report is not None else None,
+            stage_timings=dict(context.stage_timings),
+            diagnostics=list(context.diagnostics),
+            failed=context.failed,
+            error=context.error,
+        )
+
+    def _as_job(self, job: CompilationJob | Scop | tuple) -> CompilationJob:
+        if isinstance(job, CompilationJob):
+            return job
+        if isinstance(job, Scop):
+            return CompilationJob(scop=job)
+        if isinstance(job, tuple):
+            return CompilationJob(*job)
+        raise TypeError(
+            f"cannot interpret {job!r} as a compilation job "
+            "(expected CompilationJob, Scop or tuple)"
+        )
+
+    def _compile_job(self, job: CompilationJob) -> CompilationResult:
+        try:
+            return self.compile(
+                job.scop, job.config, job.machine, job.parameter_values, job.label
+            )
+        except Exception as error:  # batch mode: isolate per-job failures
+            config = job.config if job.config is not None else pluto_style()
+            machine = self._resolve_machine(job.machine)
+            return CompilationResult(
+                kernel=job.scop.name,
+                configuration=job.label or config.name,
+                machine=machine.name if machine else None,
+                schedule=job.scop.original_schedule(),
+                scheduling=None,
+                failed=True,
+                error=f"{type(error).__name__}: {error}",
+                diagnostics=[f"job failed: {type(error).__name__}: {error}"],
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Module-level front door (shared default session)
+# --------------------------------------------------------------------------- #
+_default_session: Session | None = None
+_default_lock = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide session backing the module-level helpers."""
+    global _default_session
+    with _default_lock:
+        if _default_session is None:
+            _default_session = Session()
+        return _default_session
+
+
+def reset_default_session() -> None:
+    """Drop the shared default session (mainly for tests)."""
+    global _default_session
+    with _default_lock:
+        _default_session = None
+
+
+def compile(
+    scop: Scop,
+    config: SchedulerConfig | None = None,
+    machine: MachineModel | str | None = None,
+    parameter_values: Mapping[str, int] | None = None,
+    label: str | None = None,
+) -> CompilationResult:
+    """One-shot compilation through the shared default session.
+
+    Runs dependence analysis, scheduling, post-processing, the legality
+    check, code generation and (when *machine* is given) cycle estimation,
+    returning a structured :class:`CompilationResult`.
+
+    The shared session memoises every result for the lifetime of the
+    process; long-running callers compiling many distinct kernels should
+    either use their own :class:`Session` or periodically call
+    ``default_session().clear()`` / :func:`reset_default_session`.
+    """
+    return default_session().compile(scop, config, machine, parameter_values, label)
+
+
+def compile_many(
+    jobs: Iterable[CompilationJob | Scop | tuple], parallel: int | None = None
+) -> list[CompilationResult]:
+    """Batch compilation through the shared default session."""
+    return default_session().compile_many(jobs, parallel=parallel)

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping, Sequence
 
-from ..deps.analysis import compute_dependences
+from ..deps.analysis import compute_dependences, deduplicate_dependences
 from ..deps.dependence import Dependence
 from ..ilp.solver import IlpSolution, IlpSolver
 from ..model.schedule import Schedule, StatementSchedule
@@ -49,29 +49,9 @@ from .progression import ProgressionState
 
 __all__ = ["PolyTOPSScheduler", "SchedulingResult"]
 
-
-def _deduplicate(dependences: Sequence[Dependence]) -> list[Dependence]:
-    """Drop dependences whose (source, target, polyhedron) repeats an earlier one."""
-    seen: set[tuple] = set()
-    unique: list[Dependence] = []
-    for dependence in dependences:
-        signature = (
-            dependence.source,
-            dependence.target,
-            frozenset(
-                (
-                    constraint.kind,
-                    frozenset(constraint.expression.coefficients.items()),
-                    constraint.expression.constant,
-                )
-                for constraint in dependence.polyhedron.constraints
-            ),
-        )
-        if signature in seen:
-            continue
-        seen.add(signature)
-        unique.append(dependence)
-    return unique
+# Backwards-compatible alias: the helper is dependence-domain logic and now
+# lives in :mod:`repro.deps.analysis`.
+_deduplicate = deduplicate_dependences
 
 
 @dataclass
@@ -115,7 +95,7 @@ class PolyTOPSScheduler:
         # Dependences that only differ by their kind (RAW/WAR/WAW on the same
         # access pair) impose identical scheduling constraints; keep one
         # representative each to keep the ILPs small.
-        self.dependences = _deduplicate(raw_dependences)
+        self.dependences = deduplicate_dependences(raw_dependences)
         self.parameter_values = (
             scop.resolved_parameters(parameter_values) if scop.parameters else {}
         )

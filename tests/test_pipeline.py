@@ -1,0 +1,277 @@
+"""Tests for the unified compilation pipeline (repro.pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import intel_xeon_silver_4215
+from repro.pipeline import (
+    DEFAULT_STAGES,
+    EXPERIMENT_STAGES,
+    CompilationJob,
+    CompilationResult,
+    Session,
+    register_stage,
+    registered_stages,
+    resolve_stage,
+    scop_fingerprint,
+)
+from repro.scheduler import (
+    ConfigurationError,
+    FusionSpec,
+    kernel_specific,
+    pluto_style,
+    tensor_scheduler_style,
+)
+from repro.suites.polybench import build_kernel
+
+BATCH_KERNELS = ("atax", "bicg", "mvt", "gesummv")
+
+
+def _session(**kwargs) -> Session:
+    kwargs.setdefault("machine", intel_xeon_silver_4215())
+    kwargs.setdefault("stages", EXPERIMENT_STAGES)
+    return Session(**kwargs)
+
+
+class TestCompile:
+    def test_structured_result(self, gemm_scop):
+        session = Session(machine=intel_xeon_silver_4215())  # full DEFAULT_STAGES
+        result = session.compile(gemm_scop, pluto_style())
+        assert isinstance(result, CompilationResult)
+        assert result.kernel == "gemm"
+        assert result.configuration == "pluto-style"
+        assert result.machine == "Intel2"
+        assert result.ok and not result.failed
+        assert result.legal is True
+        assert result.schedule.n_dims >= 1
+        assert result.dependences
+        assert "for" in result.generated_c
+        assert result.cycles and result.cycles > 0
+        assert set(DEFAULT_STAGES) <= set(result.stage_timings)
+        assert "pluto-style" in result.summary()
+
+    def test_compile_without_machine_skips_evaluation(self, gemm_scop):
+        session = Session()  # no machine model anywhere
+        result = session.compile(gemm_scop, pluto_style())
+        assert result.report is None and result.cycles is None
+        assert any("evaluation skipped" in note for note in result.diagnostics)
+        assert result.legal is True
+
+    def test_default_config_is_pluto_style(self, gemm_scop):
+        session = _session()
+        result = session.compile(gemm_scop)
+        assert result.configuration == "pluto-style"
+
+
+class TestSessionCaches:
+    def test_result_cache_returns_identical_object(self, gemm_scop):
+        session = _session()
+        first = session.compile(gemm_scop, pluto_style())
+        second = session.compile(gemm_scop, pluto_style())
+        assert first is second
+        assert session.statistics["result_hits"] == 1
+        assert session.statistics["result_misses"] == 1
+
+    def test_second_compile_skips_dependence_analysis(self, gemm_scop):
+        session = _session()
+        session.compile(gemm_scop, pluto_style())
+        assert session.statistics["dependence_misses"] == 1
+        # Different configuration, same SCoP: dependences come from the cache.
+        session.compile(gemm_scop, tensor_scheduler_style())
+        assert session.statistics["dependence_misses"] == 1
+        assert session.statistics["dependence_hits"] == 1
+
+    def test_cache_is_content_addressed(self):
+        # A structurally identical SCoP built twice shares the cache entries.
+        session = _session()
+        first = session.compile(build_kernel("atax"), pluto_style())
+        second = session.compile(build_kernel("atax"), pluto_style())
+        assert first is second
+        assert scop_fingerprint(build_kernel("atax")) == scop_fingerprint(build_kernel("atax"))
+
+    def test_sizes_share_dependences_but_not_results(self):
+        # The structural fingerprint is symbolic: problem sizes do not change
+        # the dependences, so both sizes share one dependence-cache entry ...
+        small_scop = build_kernel("gemm", size_scale=0.5)
+        large_scop = build_kernel("gemm")
+        assert scop_fingerprint(small_scop) == scop_fingerprint(large_scop)
+        session = _session()
+        small = session.compile(small_scop, pluto_style())
+        large = session.compile(large_scop, pluto_style())
+        # ... while the concrete parameter values key the result cache apart.
+        assert session.statistics["dependence_misses"] == 1
+        assert small is not large
+        assert small.cycles < large.cycles
+
+    def test_clear_drops_caches(self, gemm_scop):
+        session = _session()
+        session.compile(gemm_scop, pluto_style())
+        assert session.cached_results == 1
+        session.clear()
+        assert session.cached_results == 0
+
+    def test_relabeling_does_not_rerun_the_pipeline(self, gemm_scop):
+        session = _session()
+        first = session.compile(gemm_scop, pluto_style(), label="isl")
+        second = session.compile(gemm_scop, pluto_style())  # default label
+        assert session.statistics["result_misses"] == 1  # one pipeline run
+        assert first.configuration == "isl"
+        assert second.configuration == "pluto-style"
+        assert second.schedule is first.schedule  # shared underlying artifacts
+        # Repeats under either label keep returning the interned objects.
+        assert session.compile(gemm_scop, pluto_style(), label="isl") is first
+        assert session.compile(gemm_scop, pluto_style()) is second
+
+    def test_compile_best_picks_minimum_and_caches(self, gemm_scop):
+        session = _session()
+        candidates = [pluto_style(), tensor_scheduler_style()]
+        best = session.compile_best(gemm_scop, candidates, label="best")
+        assert best.configuration == "best"
+        for config in candidates:
+            assert best.cycles <= session.compile(gemm_scop, config).cycles
+        assert session.compile_best(gemm_scop, candidates, label="best") is best
+
+
+class TestCompileMany:
+    def test_matches_sequential_compiles(self):
+        config = pluto_style()
+        sequential = [
+            _session().compile(build_kernel(name), config) for name in BATCH_KERNELS
+        ]
+        batch = _session().compile_many(
+            [CompilationJob(build_kernel(name), config) for name in BATCH_KERNELS],
+            parallel=4,
+        )
+        assert [r.kernel for r in batch] == list(BATCH_KERNELS)  # input order kept
+        for ours, reference in zip(batch, sequential):
+            assert ours.schedule == reference.schedule
+            assert ours.cycles == pytest.approx(reference.cycles)
+            assert ours.failed == reference.failed
+
+    def test_parallel_equals_serial_on_shared_session(self):
+        jobs = [CompilationJob(build_kernel(name), pluto_style()) for name in BATCH_KERNELS]
+        serial_session = _session()
+        parallel_session = _session()
+        serial = serial_session.compile_many(jobs, parallel=None)
+        parallel = parallel_session.compile_many(jobs, parallel=4)
+        assert [r.schedule for r in serial] == [r.schedule for r in parallel]
+
+    def test_accepts_bare_scops_and_tuples(self, gemm_scop):
+        session = _session()
+        results = session.compile_many([gemm_scop, (gemm_scop, tensor_scheduler_style())])
+        assert results[0].configuration == "pluto-style"
+        assert results[1].configuration == "tensor-scheduler-style"
+
+    def test_bad_job_type_raises(self):
+        with pytest.raises(TypeError):
+            _session().compile_many(["not a job"])
+
+
+class TestDiagnostics:
+    def test_illegal_fusion_is_captured_not_raised(self, sequence_scop):
+        # This fusion order contradicts the producer/consumer chain; the bare
+        # scheduler raises SchedulingError (see test_scheduler_core), the
+        # pipeline reports it as a failed result with diagnostics.
+        config = kernel_specific(
+            name="illegal",
+            fusion=(FusionSpec(dimension=0, groups=(("2",), ("0", "1"))),),
+        )
+        result = _session().compile(sequence_scop, config)
+        assert result.failed and not result.ok
+        assert result.error and "SchedulingError" in result.error
+        assert any("fell back to the original" in note for note in result.diagnostics)
+        # The fallback still yields the original program order plus numbers.
+        assert result.scheduling.fallback_to_original is True
+        assert result.cycles > 0
+
+    def test_malformed_config_raises_one_shot_but_is_isolated_in_batch(self, gemm_scop):
+        bogus = kernel_specific(name="bogus", cost_functions=("no-such-cost",))
+        # One-shot compile: a malformed configuration is a programmer error
+        # and propagates (matching the historical harness behaviour) ...
+        with pytest.raises(ConfigurationError):
+            _session().compile(gemm_scop, bogus)
+        # ... while batch mode isolates it as a failed structured result.
+        results = _session().compile_many([CompilationJob(gemm_scop, bogus)])
+        assert results[0].failed
+        assert results[0].error and "ConfigurationError" in results[0].error
+        assert any("job failed" in note for note in results[0].diagnostics)
+
+    def test_compile_many_isolates_job_failures(self, gemm_scop):
+        class Exploding:
+            name = "exploding"
+
+            def run(self, context):
+                raise RuntimeError("boom")
+
+        session = Session(
+            machine=intel_xeon_silver_4215(),
+            stages=("dependences", "schedule", Exploding()),
+        )
+        ok_session_jobs = [
+            CompilationJob(gemm_scop, pluto_style(), label="a"),
+            CompilationJob(gemm_scop, pluto_style(), label="b"),
+        ]
+        results = session.compile_many(ok_session_jobs, parallel=2)
+        assert all(r.failed for r in results)
+        assert all(r.error and "boom" in r.error for r in results)
+        assert [r.configuration for r in results] == ["a", "b"]
+
+
+class TestStageRegistry:
+    def test_builtin_stages_registered(self):
+        assert {"dependences", "schedule", "postprocess", "legality", "codegen", "evaluate"} <= set(
+            registered_stages()
+        )
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_stage("no-such-stage")
+        with pytest.raises(ConfigurationError):
+            Session(stages=("no-such-stage",))
+
+    def test_custom_stage_plugs_in(self, gemm_scop):
+        class StampStage:
+            name = "stamp"
+
+            def run(self, context):
+                context.diagnostics.append("stamped")
+
+        register_stage("stamp", StampStage)
+        try:
+            session = Session(
+                machine=intel_xeon_silver_4215(), stages=(*EXPERIMENT_STAGES, "stamp")
+            )
+            result = session.compile(gemm_scop, pluto_style())
+            assert "stamped" in result.diagnostics
+            assert "stamp" in result.stage_timings
+        finally:
+            from repro.pipeline import stages as stages_module
+
+            stages_module._REGISTRY.pop("stamp", None)
+
+
+class TestHarnessShim:
+    def test_harness_owns_no_private_caches(self):
+        from repro.experiments.harness import ExperimentHarness
+
+        assert not hasattr(ExperimentHarness, "_scop_key")
+        assert not hasattr(ExperimentHarness, "dependences_for")
+
+    def test_harness_delegates_to_session(self, gemm_scop):
+        from repro.experiments.harness import ExperimentHarness
+
+        harness = ExperimentHarness(intel_xeon_silver_4215())
+        first = harness.evaluate(gemm_scop, pluto_style())
+        second = harness.evaluate(gemm_scop, pluto_style())
+        assert first is second  # historical identity guarantee
+        assert harness.session.statistics["result_hits"] >= 1
+        assert first.result is not None and first.cycles == first.result.cycles
+
+    def test_harness_knob_mutation_reaches_the_session(self, gemm_scop):
+        from repro.experiments.harness import ExperimentHarness
+
+        harness = ExperimentHarness(intel_xeon_silver_4215())
+        harness.use_tiling = True  # mutated after construction, old-style
+        harness.evaluate(gemm_scop, pluto_style())
+        assert harness.session.use_tiling is True

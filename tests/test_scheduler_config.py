@@ -206,3 +206,81 @@ class TestCustomConstraintParser:
     def test_parse_all_flattens(self, parser):
         rows = parser.parse_all(["S0_it_0 >= 0", "S1_it_0 >= 0"])
         assert len(rows) == 2
+
+
+class TestConfigJsonRoundTrip:
+    """``SchedulerConfig.from_json(cfg.to_json())`` must reproduce ``cfg``.
+
+    Covers every configuration used by the examples and by
+    ``experiments/kernel_configs.py``.  The dynamic strategy callback (the
+    paper's C++ interface) is the one part JSON cannot carry; configurations
+    that use one are compared with the callback stripped.
+    """
+
+    @staticmethod
+    def _all_configs():
+        from repro.scheduler import (
+            Directive as D,
+            PlutoBaseline,
+            PlutoLpDfpBaseline,
+            PlutoPlusBaseline,
+            IslPpcgBaseline,
+            big_loops_first_style,
+            feautrier_style,
+            isl_style,
+            kernel_specific,
+            npu_vectorize_style,
+            pluto_plus_style,
+            pluto_style,
+            tensor_scheduler_style,
+        )
+        from repro.experiments.kernel_configs import kernel_specific_candidates
+
+        configs = [
+            pluto_style(),
+            pluto_plus_style(),
+            tensor_scheduler_style(),
+            feautrier_style(),
+            isl_style(),
+            big_loops_first_style(),
+            npu_vectorize_style(),
+            # examples/custom_operator_npu.py
+            npu_vectorize_style(
+                directives=(D(kind="vectorize", statements=("0", "1"), iterator="k"),)
+            ),
+            # examples/quickstart.py and examples/kernel_specific_config.py
+            SchedulerConfig.from_json(
+                '{"scheduling_strategy": {"name": "pluto-style", "ILP_construction": '
+                '[{"scheduling_dimension": "default", "cost_functions": ["proximity"]}]}}'
+            ),
+            SchedulerConfig.from_json(LISTING2_JSON),
+            kernel_specific(name="tiled", cost_functions=("proximity",), tile_sizes=(4, 4, 4)),
+        ]
+        for kernel in ("gemm", "gramschmidt", "jacobi-1d", "atax", "symm", "seidel-2d"):
+            configs.extend(kernel_specific_candidates(kernel))
+        for baseline in (
+            PlutoBaseline(),
+            PlutoPlusBaseline(),
+            PlutoLpDfpBaseline(),
+            IslPpcgBaseline(),
+        ):
+            configs.extend(baseline.configs())
+        return configs
+
+    def test_round_trip_equality(self):
+        import dataclasses
+
+        for config in self._all_configs():
+            restored = SchedulerConfig.from_json(config.to_json())
+            expected = (
+                dataclasses.replace(config, strategy_callback=None)
+                if config.strategy_callback is not None
+                else config
+            )
+            assert restored == expected, f"round trip changed {config.name!r}"
+
+    def test_round_trip_is_idempotent(self):
+        for config in self._all_configs():
+            once = SchedulerConfig.from_json(config.to_json())
+            twice = SchedulerConfig.from_json(once.to_json())
+            assert once == twice, f"second round trip changed {config.name!r}"
