@@ -1,0 +1,181 @@
+"""Microbenchmark of the ILP solver stack: incremental engine vs. dense oracle.
+
+Two usage modes:
+
+* ``pytest benchmarks/bench_solver.py --benchmark-only`` — times the
+  incremental engine on the problem corpus and differentially checks every
+  answer against the retained dense oracle.
+* ``PYTHONPATH=src python benchmarks/bench_solver.py [--quick] [--output
+  BENCH_solver.json]`` — standalone script (no pytest plugins needed) that
+  times both paths and writes a JSON artifact, giving CI a perf trajectory
+  across PRs.
+
+The corpus mixes synthetic scheduler-shaped MILPs (bounded integer variables,
+mixed-sense rows, one or two lexicographic objectives) with the *real*
+per-dimension problems of a few PolyBench kernels, captured by running the
+PolyTOPS scheduler with an instrumented solver.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # script mode: make `import repro` resolvable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ilp import IlpSolver, LinearProblem
+from repro.ilp.engine import IncrementalIlpEngine
+
+
+def synthetic_problems(count: int, seed: int = 20260730) -> list[LinearProblem]:
+    """Random scheduler-shaped MILPs (bounded integers, mixed senses)."""
+    rng = random.Random(seed)
+    problems: list[LinearProblem] = []
+    for _ in range(count):
+        problem = LinearProblem()
+        n = rng.randint(3, 8)
+        names = [f"x{i}" for i in range(n)]
+        for name in names:
+            problem.add_variable(name, 0, rng.randint(2, 8))
+        for _ in range(rng.randint(2, 2 * n)):
+            coefficients = {
+                name: rng.randint(-3, 3)
+                for name in rng.sample(names, rng.randint(1, n))
+            }
+            coefficients = {k: v for k, v in coefficients.items() if v}
+            if not coefficients:
+                continue
+            problem.add_constraint(
+                coefficients, rng.choice([">=", "<=", "=="]), rng.randint(-4, 10)
+            )
+        for _ in range(rng.randint(1, 2)):
+            objective = {name: rng.randint(-3, 3) for name in names}
+            objective = {k: v for k, v in objective.items() if v}
+            if objective:
+                problem.add_objective(objective)
+        problems.append(problem)
+    return problems
+
+
+def scheduler_problems(quick: bool) -> list[LinearProblem]:
+    """The real per-dimension ILPs of a few PolyBench kernels."""
+    from repro.scheduler.core import PolyTOPSScheduler
+    from repro.scheduler.solver_context import SolverContext
+    from repro.suites.polybench.blas import gemm, gemver
+    from repro.suites.polybench.stencils import jacobi_2d
+
+    scops = [gemm(8, 8, 8), jacobi_2d(8, 4)]
+    if not quick:
+        scops.append(gemver(10))
+
+    captured: list[LinearProblem] = []
+    original_solve = SolverContext.solve
+
+    def capturing_solve(self, problem):
+        captured.append(problem.copy())
+        return original_solve(self, problem)
+
+    SolverContext.solve = capturing_solve
+    try:
+        for scop in scops:
+            PolyTOPSScheduler(scop).schedule()
+    finally:
+        SolverContext.solve = original_solve
+    return captured
+
+
+def _solve_all(
+    problems: list[LinearProblem], engine: str
+) -> tuple[float, list, IlpSolver]:
+    solver = IlpSolver(engine=engine)
+    solutions = []
+    started = time.perf_counter()
+    for problem in problems:
+        solutions.append(solver.solve(problem))
+    return time.perf_counter() - started, solutions, solver
+
+
+def run(quick: bool = False) -> dict:
+    """Time both solver paths over the corpus and differentially compare them."""
+    problems = synthetic_problems(12 if quick else 60) + scheduler_problems(quick)
+    engine_seconds, engine_solutions, engine_solver = _solve_all(
+        problems, "incremental"
+    )
+    oracle_seconds, oracle_solutions, _ = _solve_all(problems, "oracle")
+
+    mismatches = 0
+    for a, b in zip(engine_solutions, oracle_solutions):
+        if (a is None) != (b is None):
+            mismatches += 1
+        elif a is not None and a.objective_values != b.objective_values:
+            mismatches += 1
+
+    return {
+        "problems": len(problems),
+        "quick": quick,
+        "engine_seconds": engine_seconds,
+        "oracle_seconds": oracle_seconds,
+        "speedup_vs_oracle": (oracle_seconds / engine_seconds)
+        if engine_seconds
+        else None,
+        "mismatches": mismatches,
+        "engine_statistics": engine_solver.statistics_summary(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entry point
+# --------------------------------------------------------------------------- #
+def test_solver_benchmark(benchmark):
+    problems = synthetic_problems(30) + scheduler_problems(quick=True)
+
+    def solve_corpus():
+        solver = IlpSolver(engine="incremental")
+        return [solver.solve(problem) for problem in problems]
+
+    engine_solutions = benchmark.pedantic(solve_corpus, iterations=1, rounds=3)
+    oracle = IlpSolver(engine="oracle")
+    for problem, solution in zip(problems, engine_solutions):
+        expected = oracle.solve(problem)
+        assert (solution is None) == (expected is None)
+        if solution is not None and expected is not None:
+            assert solution.objective_values == expected.objective_values
+
+
+def test_engine_reuses_warm_starts():
+    """Sanity: on a branching-heavy corpus the engine records warm starts."""
+    problem = LinearProblem()
+    for i in range(4):
+        problem.add_variable(f"x{i}", 0, 7)
+    problem.add_constraint({f"x{i}": 2 for i in range(4)}, "==", 7)
+    problem.add_objective({f"x{i}": 1 for i in range(4)})
+    engine = IncrementalIlpEngine(problem)
+    assert engine.solve() is None  # odd rhs over even coefficients: infeasible
+    assert engine.stats.warm_start_hits > 0
+
+
+# --------------------------------------------------------------------------- #
+# Standalone script mode (used by CI to emit BENCH_solver.json)
+# --------------------------------------------------------------------------- #
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small corpus (CI smoke)")
+    parser.add_argument(
+        "--output", default=None, help="write the timing JSON to this path"
+    )
+    arguments = parser.parse_args(argv)
+    report = run(quick=arguments.quick)
+    text = json.dumps(report, indent=2, default=str)
+    print(text)
+    if arguments.output:
+        Path(arguments.output).write_text(text + "\n")
+    return 1 if report["mismatches"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,12 @@ from .backend import (
     set_default_backend,
 )
 from .branch_bound import MilpResult, MilpStatus, solve_milp
+from .engine import (
+    EngineError,
+    EngineLimitError,
+    EngineStatistics,
+    IncrementalIlpEngine,
+)
 from .problem import (
     ConstraintSense,
     LinearConstraint,
@@ -44,6 +50,10 @@ __all__ = [
     "MilpResult",
     "MilpStatus",
     "solve_milp",
+    "EngineError",
+    "EngineLimitError",
+    "EngineStatistics",
+    "IncrementalIlpEngine",
     "IlpSolution",
     "IlpSolver",
 ]

@@ -135,7 +135,8 @@ class ScipyHighsBackend:
             (c * v for c, v in zip(list(objective) + [Fraction(0)] * n_variables, values)),
             Fraction(0),
         )
-        return LpResult(LpStatus.OPTIMAL, values, objective_value)
+        iterations = int(getattr(result, "nit", 0) or 0)
+        return LpResult(LpStatus.OPTIMAL, values, objective_value, iterations)
 
 
 def _snap(value: float) -> Fraction:

@@ -25,11 +25,18 @@ MilpStatus = LpStatus
 
 @dataclass(frozen=True)
 class MilpResult:
-    """Result of a mixed-integer solve: status, assignment and objective value."""
+    """Result of a mixed-integer solve: status, assignment and objective value.
+
+    ``nodes`` counts the branch & bound nodes explored and ``iterations`` the
+    LP pivots reported by the relaxation backend; both feed the solver
+    statistics surfaced by the scheduler and the pipeline diagnostics.
+    """
 
     status: MilpStatus
     assignment: dict[str, Fraction]
     objective: Fraction | None
+    nodes: int = 0
+    iterations: int = 0
 
 
 class _StandardFormEncoder:
@@ -128,6 +135,7 @@ def solve_milp(
 
     stack: list[list[tuple[dict[str, Fraction], ConstraintSense, Fraction]]] = [[]]
     nodes = 0
+    iterations = 0
     while stack:
         cuts = stack.pop()
         nodes += 1
@@ -135,16 +143,18 @@ def solve_milp(
             raise RuntimeError("branch & bound node limit exceeded")
         rows = encoder.rows(cuts)
         result = backend.solve(encoder.n_columns, rows, objective_row)
+        iterations += result.iterations
         if result.status is LpStatus.INFEASIBLE:
             continue
         if result.status is LpStatus.UNBOUNDED:
             if feasibility_only:
                 # Any vertex of the feasible region will do; re-solve with a zero objective.
                 result = backend.solve(encoder.n_columns, rows, [])
+                iterations += result.iterations
                 if result.status is not LpStatus.OPTIMAL:
                     continue
             else:
-                return MilpResult(LpStatus.UNBOUNDED, {}, None)
+                return MilpResult(LpStatus.UNBOUNDED, {}, None, nodes, iterations)
         relaxation_value = (result.objective or Fraction(0)) + objective_offset
         if best_value is not None and relaxation_value >= best_value - prune_margin:
             continue
@@ -155,6 +165,7 @@ def solve_milp(
                 # The accelerated backend returned a numerically plausible but
                 # exactly-infeasible point: redo this node with the exact simplex.
                 result = solve_standard_form(encoder.n_columns, rows, objective_row)
+                iterations += result.iterations
                 if result.status is not LpStatus.OPTIMAL:
                     continue
                 assignment = encoder.decode(result.values)
@@ -173,8 +184,8 @@ def solve_milp(
         stack.append(cuts + [({name: Fraction(1)}, ConstraintSense.LE, floor_value)])
 
     if best_assignment is None:
-        return MilpResult(LpStatus.INFEASIBLE, {}, None)
-    return MilpResult(LpStatus.OPTIMAL, best_assignment, best_value)
+        return MilpResult(LpStatus.INFEASIBLE, {}, None, nodes, iterations)
+    return MilpResult(LpStatus.OPTIMAL, best_assignment, best_value, nodes, iterations)
 
 
 def _first_fractional(

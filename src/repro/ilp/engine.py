@@ -1,0 +1,686 @@
+"""Incremental, warm-started ILP engine over an integer-scaled simplex tableau.
+
+The historical solver stack (:mod:`repro.ilp.branch_bound`) treats every LP
+relaxation as a cold start: each branch-and-bound node re-encodes the named
+problem into dense Fraction rows and re-runs two-phase simplex (or a scipy
+call) from scratch.  The scheduler, however, solves *sequences* of
+near-identical problems — lexicographic objective stages over one constraint
+set, and B&B children that differ from their parent by a single tightened
+bound.  This engine exploits that structure:
+
+* the :class:`LinearProblem` is encoded to standard form **once** — variable
+  names are mapped to columns (lower-bounded variables are shifted, free
+  variables split), every row is integer-normalised (denominators cleared,
+  GCD-reduced);
+* the simplex tableau is kept in **integer arithmetic**: the tableau stores
+  ``den * B^{-1}A`` for the current basis ``B`` with ``den = |det B|``, so a
+  pivot is integer multiply/subtract with one exact division (fraction-free
+  pivoting à la Edmonds/Bareiss) instead of Fraction normalisation per cell;
+* phase 1 runs once per problem.  Lexicographic objective stages re-use the
+  optimal basis of the previous stage (primal reoptimisation), and B&B
+  children append their branching cut to a copy of the parent's optimal
+  tableau and reoptimise with the **dual simplex** — a warm start that almost
+  always needs a handful of pivots;
+* every integer incumbent is verified exactly against the original problem, so
+  an engine inconsistency raises :class:`EngineError` (callers fall back to
+  the retained dense oracle) instead of accepting a wrong answer.
+
+The engine mirrors the oracle's search order (first-fractional branching,
+floor branch explored first, first-found incumbent kept on ties) so that both
+paths return the same optimum on the scheduler's problems; the differential
+test-suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..linalg.varspace import clear_denominators, reduce_integer_row
+from .branch_bound import _StandardFormEncoder, _evaluate, _first_fractional
+from .problem import ConstraintSense, LinearProblem
+from .simplex import LpStatus
+from .solution import IlpSolution
+
+__all__ = [
+    "EngineError",
+    "EngineLimitError",
+    "EngineStatistics",
+    "IncrementalIlpEngine",
+]
+
+_BLAND_SWITCH_ITERATIONS = 500
+_MAX_ITERATIONS = 20000
+
+
+class EngineError(RuntimeError):
+    """Internal engine inconsistency (zero pivot, infeasible incumbent, cycling).
+
+    The engine raises instead of guessing; :class:`repro.ilp.solver.IlpSolver`
+    catches this and falls back to the dense oracle path for the problem.
+    """
+
+
+class EngineLimitError(EngineError):
+    """A search-space resource limit was exhausted (branch & bound nodes).
+
+    Unlike a plain :class:`EngineError`, retrying on the dense oracle would
+    only grind through the same exponential search a second time, so the
+    solver converts this into the oracle's own limit error instead of
+    falling back.
+    """
+
+
+@dataclass
+class EngineStatistics:
+    """Counters describing the work performed by one or more engine solves."""
+
+    solves: int = 0
+    stages: int = 0
+    pivots: int = 0
+    phase1_pivots: int = 0
+    nodes: int = 0
+    warm_start_hits: int = 0
+    encode_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "solves": self.solves,
+            "stages": self.stages,
+            "pivots": self.pivots,
+            "phase1_pivots": self.phase1_pivots,
+            "nodes": self.nodes,
+            "warm_start_hits": self.warm_start_hits,
+            "encode_seconds": self.encode_seconds,
+            "solve_seconds": self.solve_seconds,
+        }
+
+
+class _IntegerTableau:
+    """Dense simplex tableau scaled to integers by ``den = |det(basis)|``.
+
+    ``rows[i]`` holds ``den * (B^{-1}A)_i`` followed by ``den * (B^{-1}b)_i``;
+    ``objective`` holds ``den * reduced_costs`` followed by ``-den * value``.
+    All entries stay integral for an integer constraint matrix because
+    ``den * B^{-1}`` is the (sign-adjusted) adjugate of ``B``.
+    """
+
+    __slots__ = ("rows", "basis", "den", "objective", "n_columns", "stats")
+
+    def __init__(
+        self,
+        rows: list[list[int]],
+        basis: list[int],
+        n_columns: int,
+        stats: EngineStatistics,
+    ):
+        self.rows = rows
+        self.basis = basis
+        self.den = 1
+        self.n_columns = n_columns
+        self.objective: list[int] = [0] * (n_columns + 1)
+        self.stats = stats
+
+    def copy(self) -> "_IntegerTableau":
+        clone = _IntegerTableau.__new__(_IntegerTableau)
+        clone.rows = [list(row) for row in self.rows]
+        clone.basis = list(self.basis)
+        clone.den = self.den
+        clone.objective = list(self.objective)
+        clone.n_columns = self.n_columns
+        clone.stats = self.stats
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Core pivoting
+    # ------------------------------------------------------------------ #
+    def pivot(self, pivot_row: int, pivot_col: int) -> None:
+        rows = self.rows
+        den = self.den
+        source = rows[pivot_row]
+        p = source[pivot_col]
+        if p == 0:
+            raise EngineError("zero pivot element")
+        if p > 0:
+            for index, row in enumerate(rows):
+                if index == pivot_row:
+                    continue
+                f = row[pivot_col]
+                rows[index] = [(p * v - f * w) // den for v, w in zip(row, source)]
+            f = self.objective[pivot_col]
+            self.objective = [
+                (p * v - f * w) // den for v, w in zip(self.objective, source)
+            ]
+            self.den = p
+        else:
+            for index, row in enumerate(rows):
+                if index == pivot_row:
+                    continue
+                f = row[pivot_col]
+                rows[index] = [(f * w - p * v) // den for v, w in zip(row, source)]
+            f = self.objective[pivot_col]
+            self.objective = [
+                (f * w - p * v) // den for v, w in zip(self.objective, source)
+            ]
+            rows[pivot_row] = [-v for v in source]
+            self.den = -p
+        self.basis[pivot_row] = pivot_col
+        self.stats.pivots += 1
+
+    # ------------------------------------------------------------------ #
+    # Objective installation / readout
+    # ------------------------------------------------------------------ #
+    def set_objective(self, costs: Sequence[int]) -> None:
+        """Install integer costs priced out for the basis (zero-padded on the right)."""
+        den = self.den
+        costs = list(costs) + [0] * (self.n_columns - len(costs))
+        objective = [c * den for c in costs] + [0]
+        for row_index, basic in enumerate(self.basis):
+            weight = costs[basic]
+            if weight:
+                row = self.rows[row_index]
+                objective = [v - weight * w for v, w in zip(objective, row)]
+        self.objective = objective
+
+    def objective_value(self) -> Fraction:
+        return Fraction(-self.objective[-1], self.den)
+
+    def structural_values(self, n_structural: int) -> list[Fraction]:
+        values = [Fraction(0)] * n_structural
+        den = self.den
+        for row_index, basic in enumerate(self.basis):
+            if basic < n_structural:
+                values[basic] = Fraction(self.rows[row_index][-1], den)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Row addition (warm path)
+    # ------------------------------------------------------------------ #
+    def add_le_row(self, coefficients: Sequence[int], rhs: int) -> None:
+        """Append ``coefficients . x <= rhs`` (integer data) with a fresh slack.
+
+        The new row is priced out against the current basis; the slack enters
+        the basis, possibly with a negative value — the caller is expected to
+        restore feasibility with :meth:`dual_simplex`.
+        """
+        den = self.den
+        coefficients = list(coefficients) + [0] * (self.n_columns - len(coefficients))
+        new_row = [value * den for value in coefficients]
+        new_row.append(rhs * den)
+        for row_index, basic in enumerate(self.basis):
+            weight = coefficients[basic]
+            if weight:
+                row = self.rows[row_index]
+                new_row = [v - weight * w for v, w in zip(new_row, row)]
+        slack_column = self.n_columns
+        for row in self.rows:
+            row.insert(-1, 0)
+        self.objective.insert(-1, 0)
+        new_row.insert(-1, den)
+        self.rows.append(new_row)
+        self.basis.append(slack_column)
+        self.n_columns += 1
+
+    # ------------------------------------------------------------------ #
+    # Primal simplex (used for phase 1 and objective stages)
+    # ------------------------------------------------------------------ #
+    def primal_simplex(self) -> LpStatus:
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise EngineError("primal simplex iteration limit exceeded")
+            use_bland = iterations > _BLAND_SWITCH_ITERATIONS
+            entering = self._entering_primal(use_bland)
+            if entering is None:
+                return LpStatus.OPTIMAL
+            leaving = self._leaving_primal(entering, use_bland)
+            if leaving is None:
+                return LpStatus.UNBOUNDED
+            self.pivot(leaving, entering)
+
+    def _entering_primal(self, use_bland: bool) -> int | None:
+        objective = self.objective
+        best: int | None = None
+        best_value = 0
+        for column in range(self.n_columns):
+            reduced = objective[column]
+            if reduced < 0:
+                if use_bland:
+                    return column
+                if reduced < best_value:
+                    best = column
+                    best_value = reduced
+        return best
+
+    def _leaving_primal(self, entering: int, use_bland: bool) -> int | None:
+        # Minimum ratio rhs_i / a_ie over a_ie > 0, compared by cross
+        # multiplication (both scaled by the same positive den).
+        best_row: int | None = None
+        best_rhs = 0
+        best_coeff = 1
+        for row_index, row in enumerate(self.rows):
+            coeff = row[entering]
+            if coeff <= 0:
+                continue
+            rhs = row[-1]
+            if best_row is None:
+                best_row, best_rhs, best_coeff = row_index, rhs, coeff
+                continue
+            left = rhs * best_coeff
+            right = best_rhs * coeff
+            if left < right or (
+                left == right
+                and use_bland
+                and self.basis[row_index] < self.basis[best_row]
+            ):
+                best_row, best_rhs, best_coeff = row_index, rhs, coeff
+        return best_row
+
+    # ------------------------------------------------------------------ #
+    # Dual simplex (used after adding rows to an optimal tableau)
+    # ------------------------------------------------------------------ #
+    def dual_simplex(self) -> LpStatus:
+        """Restore primal feasibility, keeping the objective row dual-feasible.
+
+        Returns OPTIMAL when all right-hand sides are non-negative again and
+        INFEASIBLE when a negative row admits no entering column.
+        """
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise EngineError("dual simplex iteration limit exceeded")
+            use_bland = iterations > _BLAND_SWITCH_ITERATIONS
+            leaving = self._leaving_dual(use_bland)
+            if leaving is None:
+                return LpStatus.OPTIMAL
+            entering = self._entering_dual(leaving)
+            if entering is None:
+                return LpStatus.INFEASIBLE
+            self.pivot(leaving, entering)
+
+    def _leaving_dual(self, use_bland: bool) -> int | None:
+        best_row: int | None = None
+        best_rhs = 0
+        for row_index, row in enumerate(self.rows):
+            rhs = row[-1]
+            if rhs >= 0:
+                continue
+            if use_bland:
+                if best_row is None or self.basis[row_index] < self.basis[best_row]:
+                    best_row = row_index
+            elif rhs < best_rhs:
+                best_row = row_index
+                best_rhs = rhs
+        return best_row
+
+    def _entering_dual(self, leaving: int) -> int | None:
+        # Minimum ratio z_j / (-a_lj) over a_lj < 0, smallest column on ties
+        # (a deterministic Bland-style tie-break that prevents cycling).
+        row = self.rows[leaving]
+        objective = self.objective
+        best: int | None = None
+        best_z = 0
+        best_coeff = -1
+        for column in range(self.n_columns):
+            coeff = row[column]
+            if coeff >= 0:
+                continue
+            z = objective[column]
+            if best is None or z * (-best_coeff) < best_z * (-coeff):
+                best, best_z, best_coeff = column, z, coeff
+        return best
+
+
+class IncrementalIlpEngine:
+    """Stateful lexicographic MILP engine for one :class:`LinearProblem`.
+
+    The constructor encodes the problem to standard form; :meth:`solve` then
+    runs phase 1 once, minimises the problem's objectives lexicographically
+    (freezing each optimum as a pair of rows before the next stage) and
+    branch-and-bounds integer variables with dual-simplex warm starts.
+    """
+
+    def __init__(
+        self,
+        problem: LinearProblem,
+        node_limit: int = 20000,
+        stats: EngineStatistics | None = None,
+    ):
+        self.problem = problem
+        self.node_limit = node_limit
+        self.stats = stats if stats is not None else EngineStatistics()
+
+        started = time.perf_counter()
+        # The oracle's encoder defines the shift/split column layout; sharing
+        # it keeps the engine's variable handling in lockstep with the dense
+        # path it is differentially validated against.  The engine only adds
+        # integer normalisation on top.
+        self._encoder = _StandardFormEncoder(problem)
+        self.n_structural = self._encoder.n_columns
+
+        # Base rows: problem constraints then upper bounds, integer-normalised.
+        self._base_rows: list[tuple[list[int], ConstraintSense, int]] = []
+        for constraint in problem.constraints:
+            self._append_base_row(
+                constraint.coefficients, constraint.sense, constraint.rhs
+            )
+        for name, variable in problem.variables.items():
+            if variable.upper is not None:
+                self._append_base_row(
+                    {name: Fraction(1)}, ConstraintSense.LE, variable.upper
+                )
+        self.stats.encode_seconds += time.perf_counter() - started
+
+        self._tableau: _IntegerTableau | None = None
+
+    # ------------------------------------------------------------------ #
+    # Encoding helpers
+    # ------------------------------------------------------------------ #
+    def _encode_terms(
+        self, coefficients: Mapping[str, Fraction]
+    ) -> tuple[list[Fraction], Fraction]:
+        """Dense structural-column coefficients plus the shift offset."""
+        return self._encoder.encode_terms(coefficients)
+
+    def _append_base_row(
+        self,
+        coefficients: Mapping[str, Fraction],
+        sense: ConstraintSense,
+        rhs: Fraction,
+    ) -> None:
+        dense, offset = self._encode_terms(coefficients)
+        dense.append(rhs - offset)
+        integer = reduce_integer_row(clear_denominators(dense))
+        self._base_rows.append((integer[:-1], sense, integer[-1]))
+
+    def _encode_objective(
+        self, objective: Mapping[str, Fraction]
+    ) -> tuple[list[int], int, Fraction]:
+        """Integer column costs, their positive scale, and the shift offset."""
+        dense, offset = self._encode_terms(objective)
+        # The trailing 1 records the positive factor the row was scaled by;
+        # the GCD reduction divides costs and factor alike, so the readout
+        # `tableau_value / scale` stays exact.
+        integer = reduce_integer_row(clear_denominators(dense + [Fraction(1)]))
+        return integer[:-1], integer[-1], offset
+
+    # ------------------------------------------------------------------ #
+    # Root tableau (phase 1, run once)
+    # ------------------------------------------------------------------ #
+    def _build_root(self) -> _IntegerTableau | None:
+        """Feasible slack-only tableau, or ``None`` when the LP is infeasible.
+
+        Rows are normalised so that a row only needs an artificial variable
+        when the all-slack point genuinely violates it: ``<=`` rows with a
+        non-negative right-hand side (after possibly flipping the row's sign)
+        start with their slack basic at a feasible value.  The scheduler's
+        Farkas rows are homogeneous (``... >= 0``), so phase 1 typically only
+        has to repair the few equality and strict-progression rows.
+        """
+        specs: list[tuple[list[int], ConstraintSense, int]] = []
+        for coefficients, sense, rhs in self._base_rows:
+            flip = False
+            if sense is ConstraintSense.EQ:
+                flip = rhs < 0
+            elif sense is ConstraintSense.GE:
+                # a.x >= rhs with rhs <= 0 is satisfied at x = 0: flip to <=.
+                flip = rhs <= 0
+            else:
+                flip = rhs < 0
+            if flip:
+                coefficients = [-value for value in coefficients]
+                rhs = -rhs
+                if sense is ConstraintSense.LE:
+                    sense = ConstraintSense.GE
+                elif sense is ConstraintSense.GE:
+                    sense = ConstraintSense.LE
+            specs.append((coefficients, sense, rhs))
+
+        n_structural = self.n_structural
+        n_slack = sum(1 for _, sense, _ in specs if sense is not ConstraintSense.EQ)
+        n_artificial = sum(
+            1 for _, sense, _ in specs if sense is not ConstraintSense.LE
+        )
+        total = n_structural + n_slack + n_artificial
+
+        rows: list[list[int]] = []
+        basis: list[int] = []
+        artificial_columns: list[int] = []
+        slack_index = 0
+        artificial_index = 0
+        for coefficients, sense, rhs in specs:
+            padded = list(coefficients) + [0] * (total - n_structural)
+            if sense is not ConstraintSense.EQ:
+                column = n_structural + slack_index
+                padded[column] = 1 if sense is ConstraintSense.LE else -1
+                slack_index += 1
+            if sense is ConstraintSense.LE:
+                basis.append(n_structural + slack_index - 1)
+            else:
+                column = n_structural + n_slack + artificial_index
+                padded[column] = 1
+                artificial_columns.append(column)
+                basis.append(column)
+                artificial_index += 1
+            padded.append(rhs)
+            rows.append(padded)
+
+        tableau = _IntegerTableau(rows, basis, total, self.stats)
+        if not artificial_columns:
+            return tableau
+
+        # Phase 1: minimise the sum of the artificial variables.
+        costs = [0] * total
+        for column in artificial_columns:
+            costs[column] = 1
+        tableau.set_objective(costs)
+        pivots_before = self.stats.pivots
+        status = tableau.primal_simplex()
+        self.stats.phase1_pivots += self.stats.pivots - pivots_before
+        if status is not LpStatus.OPTIMAL:  # pragma: no cover - phase 1 is bounded
+            raise EngineError("phase 1 cannot be unbounded")
+        if tableau.objective_value() != 0:
+            return None
+
+        # Drive leftover artificials out of the basis; rows that cannot pivot
+        # are redundant (all-zero over the real columns) and are dropped.
+        artificial_set = set(artificial_columns)
+        first_artificial = n_structural + n_slack
+        redundant: list[int] = []
+        for row_index, basic in enumerate(list(tableau.basis)):
+            if basic not in artificial_set:
+                continue
+            row = tableau.rows[row_index]
+            pivot_col = next(
+                (
+                    column
+                    for column in range(first_artificial)
+                    if row[column] != 0
+                ),
+                None,
+            )
+            if pivot_col is None:
+                redundant.append(row_index)
+            else:
+                tableau.pivot(row_index, pivot_col)
+        for row_index in sorted(redundant, reverse=True):
+            del tableau.rows[row_index]
+            del tableau.basis[row_index]
+
+        # The artificial columns are trailing; truncate them away so later
+        # pivots, copies and added cuts never touch them again.
+        tableau.rows = [row[:first_artificial] + [row[-1]] for row in tableau.rows]
+        tableau.objective = (
+            tableau.objective[:first_artificial] + [tableau.objective[-1]]
+        )
+        tableau.n_columns = first_artificial
+        return tableau
+
+    # ------------------------------------------------------------------ #
+    # Branch & bound (dual-simplex warm-started)
+    # ------------------------------------------------------------------ #
+    def _branching_cut_row(
+        self, name: str, sense: ConstraintSense, bound: Fraction, width: int
+    ) -> tuple[list[int], int]:
+        """Integer LE-row over *width* columns for a single-variable cut."""
+        dense = [Fraction(0)] * width
+        column = self._encoder.column_of[name]
+        negative = self._encoder.negative_column_of.get(name)
+        rhs = bound - self._encoder.shift_of[name]
+        if sense is ConstraintSense.LE:
+            dense[column] = Fraction(1)
+            if negative is not None:
+                dense[negative] = Fraction(-1)
+        else:  # GE: negate into a LE row
+            dense[column] = Fraction(-1)
+            if negative is not None:
+                dense[negative] = Fraction(1)
+            rhs = -rhs
+        integer = reduce_integer_row(clear_denominators(dense + [rhs]))
+        return integer[:-1], integer[-1]
+
+    def _decode(self, tableau: _IntegerTableau) -> dict[str, Fraction]:
+        return self._encoder.decode(tableau.structural_values(self.n_structural))
+
+    def _minimize_stage(
+        self,
+        root: _IntegerTableau,
+        objective: Mapping[str, Fraction],
+        scale: int,
+        offset: Fraction,
+        feasibility_only: bool,
+    ) -> tuple[LpStatus, dict[str, Fraction] | None, Fraction | None]:
+        """Branch & bound below *root* (already primal-optimal for the stage)."""
+        best_assignment: dict[str, Fraction] | None = None
+        best_value: Fraction | None = None
+
+        Cut = tuple[str, ConstraintSense, Fraction]
+        stack: list[tuple[_IntegerTableau, Cut | None]] = [(root, None)]
+        nodes = 0
+        while stack:
+            parent, cut = stack.pop()
+            nodes += 1
+            self.stats.nodes += 1
+            if nodes > self.node_limit:
+                raise EngineLimitError("branch & bound node limit exceeded")
+            if cut is None:
+                tableau = parent
+            else:
+                tableau = parent.copy()
+                name, sense, bound = cut
+                coefficients, rhs = self._branching_cut_row(
+                    name, sense, bound, tableau.n_columns
+                )
+                tableau.add_le_row(coefficients, rhs)
+                status = tableau.dual_simplex()
+                if status is LpStatus.INFEASIBLE:
+                    continue
+                # A child re-optimised to a usable LP optimum purely by dual
+                # pivots from its parent's basis — the warm start paid off.
+                self.stats.warm_start_hits += 1
+            relaxation = tableau.objective_value() / scale + offset
+            if best_value is not None and relaxation >= best_value:
+                continue
+            assignment = self._decode(tableau)
+            fractional = _first_fractional(self.problem, assignment)
+            if fractional is None:
+                if not self.problem.is_feasible_assignment(assignment):
+                    raise EngineError("engine produced an infeasible incumbent")
+                value = _evaluate(objective, assignment)
+                if best_value is None or value < best_value:
+                    best_value = value
+                    best_assignment = assignment
+                    if feasibility_only:
+                        break
+                continue
+            name, value = fractional
+            floor_value = Fraction(value.numerator // value.denominator)
+            stack.append((tableau, (name, ConstraintSense.GE, floor_value + 1)))
+            stack.append((tableau, (name, ConstraintSense.LE, floor_value)))
+
+        if best_assignment is None:
+            return LpStatus.INFEASIBLE, None, None
+        return LpStatus.OPTIMAL, best_assignment, best_value
+
+    # ------------------------------------------------------------------ #
+    # Public entry point
+    # ------------------------------------------------------------------ #
+    def solve(self) -> IlpSolution | None:
+        """Lexicographically optimal integer solution, or ``None`` if infeasible.
+
+        Raises :class:`ValueError` when an objective is unbounded below (the
+        same contract as :class:`repro.ilp.solver.IlpSolver`).
+        """
+        started = time.perf_counter()
+        self.stats.solves += 1
+        try:
+            tableau = self._build_root()
+            if tableau is None:
+                return None
+            self._tableau = tableau
+
+            objectives = [
+                {
+                    name: value
+                    for name, value in objective.items()
+                    if value != 0
+                }
+                for objective in self.problem.objectives
+            ]
+            if not objectives:
+                objectives = [{}]
+
+            last_assignment: dict[str, Fraction] | None = None
+            objective_values: list[Fraction] = []
+            for stage_index, objective in enumerate(objectives):
+                self.stats.stages += 1
+                costs, scale, offset = self._encode_objective(objective)
+                tableau.set_objective(costs)
+                status = tableau.primal_simplex()
+                if status is LpStatus.UNBOUNDED:
+                    if not objective:  # pragma: no cover - zero objective is bounded
+                        raise EngineError("zero objective reported unbounded")
+                    raise ValueError(
+                        "objective is unbounded below; scheduling variables must be bounded"
+                    )
+                feasibility_only = not objective
+                status, assignment, value = self._minimize_stage(
+                    tableau, objective, scale, offset, feasibility_only
+                )
+                if status is LpStatus.INFEASIBLE:
+                    return None
+                assert assignment is not None and value is not None
+                last_assignment = assignment
+                if self.problem.objectives:
+                    objective_values.append(value)
+                if stage_index + 1 < len(objectives) and objective:
+                    self._freeze_objective(tableau, objective, value)
+
+            assert last_assignment is not None
+            return IlpSolution(last_assignment, objective_values)
+        finally:
+            self.stats.solve_seconds += time.perf_counter() - started
+
+    def _freeze_objective(
+        self,
+        tableau: _IntegerTableau,
+        objective: Mapping[str, Fraction],
+        value: Fraction,
+    ) -> None:
+        """Pin ``objective == value`` onto the stage tableau (dual reoptimised)."""
+        dense, offset = self._encode_terms(objective)
+        target = value - offset
+        integer = reduce_integer_row(clear_denominators(dense + [target]))
+        coefficients, rhs = integer[:-1], integer[-1]
+        tableau.add_le_row(coefficients, rhs)
+        tableau.add_le_row([-c for c in coefficients], -rhs)
+        status = tableau.dual_simplex()
+        if status is not LpStatus.OPTIMAL:
+            # The integer optimum is always attainable by the relaxation that
+            # contains it; failure here is an engine inconsistency.
+            raise EngineError("freezing a lexicographic stage made the LP infeasible")

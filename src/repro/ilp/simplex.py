@@ -37,11 +37,16 @@ class LpStatus(Enum):
 
 @dataclass(frozen=True)
 class LpResult:
-    """Solution of an LP in standard form."""
+    """Solution of an LP in standard form.
+
+    ``iterations`` counts simplex pivots (0 when the backend does not report
+    them); it feeds the solver statistics surfaced by the scheduler.
+    """
 
     status: LpStatus
     values: list[Fraction]
     objective: Fraction | None
+    iterations: int = 0
 
 
 @dataclass(frozen=True)
@@ -72,6 +77,7 @@ class _Tableau:
         self.basis = basis                    # basic variable per row
         self.n_columns = n_columns            # structural + auxiliary columns (without rhs)
         self.objective: list[Fraction] = []   # reduced-cost row, length n_columns + 1
+        self.pivot_count = 0                  # pivots across every run() call
 
     def set_objective(self, costs: Sequence[Fraction]) -> None:
         """Install the cost row and price it out against the current basis."""
@@ -119,6 +125,7 @@ class _Tableau:
             if leaving is None:
                 return LpStatus.UNBOUNDED
             self.pivot(leaving, entering)
+            self.pivot_count += 1
 
     def _choose_entering(self, allowed_columns: set[int], use_bland: bool) -> int | None:
         best: int | None = None
@@ -240,7 +247,7 @@ def solve_standard_form(
     if status is LpStatus.UNBOUNDED:  # pragma: no cover - phase 1 is always bounded
         raise RuntimeError("phase 1 cannot be unbounded")
     if tableau.objective_value() != 0:
-        return LpResult(LpStatus.INFEASIBLE, [], None)
+        return LpResult(LpStatus.INFEASIBLE, [], None, tableau.pivot_count)
 
     # Drive any artificial variable still in the basis out of it (degenerate rows).
     artificial_set = set(artificial_columns)
@@ -265,5 +272,10 @@ def solve_standard_form(
     # to non-artificial columns, which keeps those rows at zero.
     status = tableau.run(allowed)
     if status is LpStatus.UNBOUNDED:
-        return LpResult(LpStatus.UNBOUNDED, [], None)
-    return LpResult(LpStatus.OPTIMAL, tableau.values(n_variables), tableau.objective_value())
+        return LpResult(LpStatus.UNBOUNDED, [], None, tableau.pivot_count)
+    return LpResult(
+        LpStatus.OPTIMAL,
+        tableau.values(n_variables),
+        tableau.objective_value(),
+        tableau.pivot_count,
+    )

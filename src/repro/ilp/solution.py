@@ -1,0 +1,32 @@
+"""The solution type shared by the lexicographic solver front-ends.
+
+Both the incremental engine (:mod:`repro.ilp.engine`) and the retained dense
+oracle path (:mod:`repro.ilp.solver`) return :class:`IlpSolution`; keeping it
+in its own module avoids an import cycle between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = ["IlpSolution"]
+
+
+@dataclass(frozen=True)
+class IlpSolution:
+    """A feasible integer assignment plus the per-objective optimal values."""
+
+    assignment: dict[str, Fraction]
+    objective_values: list[Fraction]
+
+    def value(self, name: str) -> int:
+        """Integer value of variable *name* (0 when absent)."""
+        fraction = self.assignment.get(name, Fraction(0))
+        if fraction.denominator != 1:
+            raise ValueError(f"variable {name} has a non-integral value {fraction}")
+        return int(fraction)
+
+    def as_int_dict(self) -> dict[str, int]:
+        """The assignment with every value converted to ``int``."""
+        return {name: self.value(name) for name in self.assignment}

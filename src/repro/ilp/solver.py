@@ -5,63 +5,139 @@ The scheduler's per-dimension problems carry an ordered list of objectives
 other: each stage's optimum is frozen as an equality constraint before the next
 stage is solved, exactly like the lexicographic minimisation performed by the
 ILP back-ends of Pluto and isl.
+
+Two execution paths implement that contract:
+
+* ``engine="incremental"`` (the default) — the stateful
+  :class:`repro.ilp.engine.IncrementalIlpEngine`: the problem is encoded to
+  standard form once, phase 1 runs once, objective stages re-use the previous
+  basis and branch & bound children are warm-started with the dual simplex.
+* ``engine="oracle"`` — the retained dense path: one cold
+  :func:`repro.ilp.branch_bound.solve_milp` call per objective stage.  It is
+  the reference implementation the differential tests validate the engine
+  against, and the automatic fallback when the engine reports an internal
+  inconsistency (:class:`repro.ilp.engine.EngineError`).
+
+Passing an explicit LP ``backend`` forces the oracle path, since backends only
+apply to the cold relaxation solves.  The ``REPRO_ILP_ENGINE`` environment
+variable overrides the default choice process-wide (useful for A/B timing and
+for differential CI runs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
 from fractions import Fraction
 
 from .branch_bound import MilpResult, solve_milp
+from .engine import (
+    EngineError,
+    EngineLimitError,
+    EngineStatistics,
+    IncrementalIlpEngine,
+)
 from .problem import ConstraintSense, LinearProblem
 from .simplex import LpStatus
+from .solution import IlpSolution
 
 __all__ = ["IlpSolution", "IlpSolver"]
 
+_ENGINE_CHOICES = ("incremental", "oracle")
 
-@dataclass(frozen=True)
-class IlpSolution:
-    """A feasible integer assignment plus the per-objective optimal values."""
 
-    assignment: dict[str, Fraction]
-    objective_values: list[Fraction]
-
-    def value(self, name: str) -> int:
-        """Integer value of variable *name* (0 when absent)."""
-        fraction = self.assignment.get(name, Fraction(0))
-        if fraction.denominator != 1:
-            raise ValueError(f"variable {name} has a non-integral value {fraction}")
-        return int(fraction)
-
-    def as_int_dict(self) -> dict[str, int]:
-        """The assignment with every value converted to ``int``."""
-        return {name: self.value(name) for name in self.assignment}
+def _default_engine() -> str:
+    choice = os.environ.get("REPRO_ILP_ENGINE", "incremental").strip().lower()
+    if choice not in _ENGINE_CHOICES:
+        # A typo here would silently validate the engine against itself in a
+        # differential run; fail loudly instead.
+        raise ValueError(
+            f"REPRO_ILP_ENGINE={choice!r} is not a known engine; "
+            f"known: {_ENGINE_CHOICES}"
+        )
+    return choice
 
 
 class IlpSolver:
     """Solve :class:`LinearProblem` instances with lexicographic objectives."""
 
-    def __init__(self, node_limit: int = 20000, backend=None):
+    def __init__(self, node_limit: int = 20000, backend=None, engine: str | None = None):
         self.node_limit = node_limit
         self.backend = backend
+        if engine is None:
+            engine = "oracle" if backend is not None else _default_engine()
+        if engine not in _ENGINE_CHOICES:
+            raise ValueError(f"unknown ILP engine {engine!r}; known: {_ENGINE_CHOICES}")
+        if backend is not None and engine != "oracle":
+            raise ValueError(
+                "an explicit LP backend only applies to the oracle path; "
+                "drop the backend or pass engine='oracle'"
+            )
+        self.engine = engine
         self.solve_count = 0
+        self.oracle_solve_count = 0
+        self.engine_fallbacks = 0
+        self.oracle_nodes = 0
+        self.oracle_iterations = 0
+        self.statistics = EngineStatistics()
 
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
     def solve(self, problem: LinearProblem) -> IlpSolution | None:
         """Return the lexicographically optimal solution, or ``None`` when infeasible."""
+        if self.engine == "incremental":
+            try:
+                engine = IncrementalIlpEngine(
+                    problem, self.node_limit, stats=self.statistics
+                )
+                solution = engine.solve()
+                self.solve_count += 1
+                return solution
+            except EngineLimitError as error:
+                # The oracle would grind through the same exponential search;
+                # fail fast with its error instead of solving twice.
+                raise RuntimeError(str(error)) from error
+            except EngineError:
+                self.engine_fallbacks += 1
+        return self._solve_oracle(problem)
+
+    def is_feasible(self, problem: LinearProblem) -> bool:
+        """True when the problem admits at least one integer point."""
+        stripped = problem.copy()
+        stripped.objectives = []
+        return self.solve(stripped) is not None
+
+    def statistics_summary(self) -> dict[str, int | float]:
+        """Aggregated counters across every solve of this solver instance."""
+        summary: dict[str, int | float] = dict(self.statistics.as_dict())
+        summary["lex_solves"] = self.solve_count
+        summary["oracle_solves"] = self.oracle_solve_count
+        summary["oracle_nodes"] = self.oracle_nodes
+        summary["oracle_iterations"] = self.oracle_iterations
+        summary["engine_fallbacks"] = self.engine_fallbacks
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Retained dense oracle path
+    # ------------------------------------------------------------------ #
+    def _solve_oracle(self, problem: LinearProblem) -> IlpSolution | None:
+        # One lexicographic solve, regardless of how many MILP stages it takes
+        # (the engine path counts the same way, so the units stay comparable).
+        self.solve_count += 1
         working = problem.copy()
         objective_values: list[Fraction] = []
         last_result: MilpResult | None = None
 
         if not working.objectives:
             result = solve_milp(working, None, self.node_limit, self.backend)
-            self.solve_count += 1
+            self._record_oracle(result)
             if result.status is not LpStatus.OPTIMAL:
                 return None
             return IlpSolution(result.assignment, [])
 
         for objective in working.objectives:
             result = solve_milp(working, objective, self.node_limit, self.backend)
-            self.solve_count += 1
+            self._record_oracle(result)
             if result.status is LpStatus.INFEASIBLE:
                 return None
             if result.status is LpStatus.UNBOUNDED:
@@ -76,8 +152,7 @@ class IlpSolver:
         assert last_result is not None
         return IlpSolution(last_result.assignment, objective_values)
 
-    def is_feasible(self, problem: LinearProblem) -> bool:
-        """True when the problem admits at least one integer point."""
-        stripped = problem.copy()
-        stripped.objectives = []
-        return self.solve(stripped) is not None
+    def _record_oracle(self, result: MilpResult) -> None:
+        self.oracle_solve_count += 1
+        self.oracle_nodes += result.nodes
+        self.oracle_iterations += result.iterations

@@ -22,6 +22,11 @@ from .rational import (
     normalize_integer_row,
     scale_to_integers,
 )
+from .varspace import (
+    VariableSpace,
+    clear_denominators,
+    reduce_integer_row,
+)
 
 __all__ = [
     "RationalMatrix",
@@ -34,6 +39,9 @@ __all__ = [
     "lcm_many",
     "normalize_integer_row",
     "scale_to_integers",
+    "VariableSpace",
+    "clear_denominators",
+    "reduce_integer_row",
     "determinant",
     "hermite_normal_form",
     "is_unimodular",

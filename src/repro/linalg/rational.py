@@ -69,13 +69,20 @@ def scale_to_integers(values: Sequence[Rational]) -> list[int]:
 
     The direction of the vector is preserved (the scaling factor is positive).
     """
-    denom = common_denominator(values)
-    return [int(as_fraction(v) * denom) for v in values]
+    fractions = [as_fraction(v) for v in values]
+    denom = lcm_many(fraction.denominator for fraction in fractions)
+    if denom == 1:
+        return [fraction.numerator for fraction in fractions]
+    return [int(fraction * denom) for fraction in fractions]
 
 
 def normalize_integer_row(values: Sequence[int]) -> list[int]:
     """Divide an integer vector by the GCD of its entries (zero vectors unchanged)."""
-    g = gcd_many(values)
+    g = 0
+    for value in values:
+        g = gcd(g, value)
+        if g == 1:
+            return list(values)
     if g <= 1:
         return list(values)
     return [v // g for v in values]

@@ -58,6 +58,19 @@ class CompilationResult:
         """True when the pipeline produced a schedule without falling back."""
         return not self.failed
 
+    @property
+    def solver_statistics(self) -> dict[str, int | float]:
+        """Solver counters of the scheduling run (empty when no scheduling ran).
+
+        Keys mix scheduler-level counters (``ilp_solved``, ``dimensions``)
+        with the incremental engine's statistics (``pivots``, ``nodes``,
+        ``warm_start_hits``, ``encode_seconds``, ``solve_seconds``,
+        ``engine_fallbacks``); see ``SchedulingResult.statistics``.
+        """
+        if self.scheduling is None:
+            return {}
+        return dict(self.scheduling.statistics)
+
     def relabeled(self, label: str) -> "CompilationResult":
         """A copy reported under a different configuration label.
 

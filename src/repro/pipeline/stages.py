@@ -115,6 +115,31 @@ def resolve_stage(name: str) -> PipelineStage:
     return _REGISTRY[name]()
 
 
+def _solver_summary(statistics: Mapping[str, int | float]) -> str | None:
+    """One diagnostic line summarising the solver work of a scheduling run."""
+    if not statistics or "solve_calls" not in statistics:
+        return None
+    # Engine and oracle counters are reported together so the line stays
+    # meaningful when the oracle path (REPRO_ILP_ENGINE=oracle or fallbacks)
+    # did the work.
+    pivots = statistics.get("pivots", 0) + statistics.get("oracle_iterations", 0)
+    nodes = statistics.get("nodes", 0) + statistics.get("oracle_nodes", 0)
+    parts = [
+        f"ilp: {statistics.get('solve_calls', 0)} solves",
+        f"{pivots} pivots",
+        f"{nodes} nodes",
+        f"{statistics.get('warm_start_hits', 0)} warm starts",
+    ]
+    encode = statistics.get("encode_seconds")
+    solve = statistics.get("solve_seconds")
+    if isinstance(encode, (int, float)) and isinstance(solve, (int, float)):
+        parts.append(f"encode {encode * 1e3:.1f}ms / solve {solve * 1e3:.1f}ms")
+    fallbacks = statistics.get("engine_fallbacks", 0)
+    if fallbacks:
+        parts.append(f"{fallbacks} oracle fallbacks")
+    return ", ".join(parts)
+
+
 # --------------------------------------------------------------------------- #
 # Built-in stages
 # --------------------------------------------------------------------------- #
@@ -167,6 +192,9 @@ class SchedulingStage:
             context.diagnostics.append(
                 "no profitable schedule found; the scheduler fell back to the original order"
             )
+        summary = _solver_summary(result.statistics)
+        if summary:
+            context.diagnostics.append(summary)
         context.scheduling = result
         context.schedule = result.schedule
 

@@ -1,10 +1,12 @@
 """Exact integer emptiness, sampling and enumeration for polyhedra.
 
-Emptiness and sampling are delegated to the branch & bound ILP solver with all
-dimensions (iterators *and* parameters) treated as free integer variables.
-Enumeration requires a bounded set and proceeds dimension by dimension using
-the rational bounds from Fourier–Motzkin projection, checking each candidate
-point against the original constraints.
+Emptiness and sampling are delegated to the ILP layer with all dimensions
+(iterators *and* parameters) treated as free integer variables; the
+incremental engine answers these feasibility probes warm (with the dense
+branch & bound as its automatic fallback).  Enumeration requires a bounded set
+and proceeds dimension by dimension using the rational bounds from
+Fourier–Motzkin projection, checking each candidate point against the
+original constraints.
 """
 
 from __future__ import annotations
@@ -13,9 +15,8 @@ import math
 from fractions import Fraction
 from typing import Mapping
 
-from ..ilp.branch_bound import solve_milp
 from ..ilp.problem import ConstraintSense, LinearProblem
-from ..ilp.simplex import LpStatus
+from ..ilp.solver import IlpSolver
 from .polyhedron import Polyhedron
 from .space import CONSTANT_KEY
 
@@ -51,10 +52,13 @@ def find_integer_point(polyhedron: Polyhedron) -> dict[str, int] | None:
     if polyhedron.has_trivial_contradiction():
         return None
     problem = _to_problem(polyhedron)
-    result = solve_milp(problem, None)
-    if result.status is not LpStatus.OPTIMAL:
+    # A fresh solver per probe: construction is a handful of counters, and it
+    # keeps concurrent dependence-analysis workers from racing on shared
+    # statistics (and honours REPRO_ILP_ENGINE at call time, not import time).
+    solution = IlpSolver().solve(problem)
+    if solution is None:
         return None
-    return {name: int(value) for name, value in result.assignment.items()}
+    return {name: int(value) for name, value in solution.assignment.items()}
 
 
 def enumerate_integer_points(polyhedron: Polyhedron) -> list[dict[str, int]]:

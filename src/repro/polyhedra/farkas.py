@@ -12,6 +12,12 @@ coefficients of every dimension of ``x`` and of the constant term produces a
 system that is linear in both the ILP unknowns and the Farkas multipliers; the
 multipliers are then eliminated (Gaussian substitution + Fourier–Motzkin),
 leaving constraints over the ILP unknowns only.
+
+The whole linearisation runs on the indexed integer core of
+:mod:`repro.polyhedra.fourier_motzkin`: multipliers occupy the first columns,
+ILP unknowns are interned behind them, and the multiplier columns are
+eliminated with integer row arithmetic.  Only the surviving rows are converted
+back to named form.
 """
 
 from __future__ import annotations
@@ -21,9 +27,9 @@ from fractions import Fraction
 from typing import Mapping
 
 from ..linalg.rational import as_fraction
-from .affine import AffineExpr
-from .constraint import AffineConstraint, ConstraintKind
-from .fourier_motzkin import eliminate_variables, simplify_constraints
+from ..linalg.varspace import VariableSpace, clear_denominators
+from .constraint import AffineConstraint
+from .fourier_motzkin import eliminate_columns, rows_to_constraints, simplify_rows
 from .polyhedron import Polyhedron
 from .space import CONSTANT_KEY
 
@@ -72,53 +78,75 @@ def farkas_nonnegative(
     The returned constraints involve only the ILP variable names used in the
     templates (the Farkas multipliers are eliminated).
     """
-    prefix = f"__farkas{next(_multiplier_counter)}"
-    inequality_constraints: list[AffineConstraint] = []
+    # One inequality per multiplier: equalities of the polyhedron contribute a
+    # +/- pair so that every multiplier is sign-constrained.
+    inequality_rows: list[tuple[tuple[Fraction, ...], Fraction]] = []
+    dimension_names = polyhedron.space.names
     for constraint in polyhedron.constraints:
+        expression = constraint.expression
+        coefficients = tuple(expression.coefficient(name) for name in dimension_names)
+        inequality_rows.append((coefficients, expression.constant))
         if constraint.is_equality:
-            inequality_constraints.append(
-                AffineConstraint(constraint.expression, ConstraintKind.INEQUALITY)
+            inequality_rows.append(
+                (tuple(-value for value in coefficients), -expression.constant)
             )
-            inequality_constraints.append(
-                AffineConstraint(-constraint.expression, ConstraintKind.INEQUALITY)
-            )
-        else:
-            inequality_constraints.append(constraint)
 
-    multiplier_names = [f"{prefix}_{k}" for k in range(len(inequality_constraints))]
+    n_multipliers = len(inequality_rows)
+    # Column layout: [multipliers | ILP variables | constant].  The ILP-variable
+    # columns are interned on the fly while the template rows are assembled.
+    ilp_space = VariableSpace()
 
-    system: list[AffineConstraint] = []
+    def template_row(template: LinearCombination) -> tuple[list[Fraction], Fraction]:
+        terms = {name: value for name, value in template.items() if name != CONSTANT_KEY}
+        constant = as_fraction(template.get(CONSTANT_KEY, 0))
+        return ilp_space.encode(terms), constant
+
+    fraction_rows: list[tuple[list[Fraction], list[Fraction], Fraction, bool]] = []
+    # Each pending row: (multiplier part, ILP part, constant, is_equality).
+
     # Multipliers are non-negative.
-    for name in multiplier_names:
-        system.append(AffineConstraint(AffineExpr.variable(name), ConstraintKind.INEQUALITY))
+    for index in range(n_multipliers):
+        multiplier_part = [Fraction(0)] * n_multipliers
+        multiplier_part[index] = Fraction(1)
+        fraction_rows.append((multiplier_part, [], Fraction(0), False))
 
     # Coefficient matching for every dimension of the polyhedron.
-    for dimension in polyhedron.space.names:
-        template = coefficient_templates.get(dimension, {})
-        expr = _combination_to_expr(template)
-        for multiplier, constraint in zip(multiplier_names, inequality_constraints):
-            coeff = constraint.coefficient(dimension)
-            if coeff != 0:
-                expr = expr - AffineExpr({multiplier: coeff})
-        system.append(AffineConstraint(expr, ConstraintKind.EQUALITY))
+    for position, dimension in enumerate(dimension_names):
+        ilp_part, constant = template_row(coefficient_templates.get(dimension, {}))
+        multiplier_part = [
+            -coefficients[position] for coefficients, _ in inequality_rows
+        ]
+        fraction_rows.append((multiplier_part, ilp_part, constant, True))
 
     # Constant matching: the residue equals lambda_0 >= 0, so an inequality suffices.
-    constant_expr = _combination_to_expr(constant_template)
-    for multiplier, constraint in zip(multiplier_names, inequality_constraints):
-        constant = constraint.expression.constant
-        if constant != 0:
-            constant_expr = constant_expr - AffineExpr({multiplier: constant})
-    system.append(AffineConstraint(constant_expr, ConstraintKind.INEQUALITY))
+    ilp_part, constant = template_row(constant_template)
+    multiplier_part = [-row_constant for _, row_constant in inequality_rows]
+    fraction_rows.append((multiplier_part, ilp_part, constant, False))
 
-    reduced = eliminate_variables(system, multiplier_names)
-    return FarkasResult(simplify_constraints(reduced))
+    # Assemble the dense integer system now that the ILP column count is known.
+    n_ilp = len(ilp_space)
+    rows: list[list[int]] = []
+    kinds: list[bool] = []
+    for multiplier_part, ilp_part, constant, is_equality in fraction_rows:
+        dense = list(multiplier_part)
+        dense.extend(ilp_part)
+        dense.extend([Fraction(0)] * (n_ilp - len(ilp_part)))
+        dense.append(constant)
+        rows.append(clear_denominators(dense))
+        kinds.append(is_equality)
 
+    rows, kinds = eliminate_columns(rows, kinds, range(n_multipliers))
+    rows, kinds = simplify_rows(rows, kinds)
 
-def _combination_to_expr(combination: LinearCombination) -> AffineExpr:
-    coefficients = {
-        name: as_fraction(value)
-        for name, value in combination.items()
-        if name != CONSTANT_KEY
-    }
-    constant = as_fraction(combination.get(CONSTANT_KEY, 0))
-    return AffineExpr(coefficients, constant)
+    # Only the ILP columns survive; re-index them for the named conversion.
+    # The multiplier placeholder names must be distinct from every ILP
+    # variable name (they never appear in the output rows, but a colliding
+    # name would make the space narrower than the rows): lengthen the prefix
+    # until no ILP name can alias it.
+    prefix = f"__farkas{next(_multiplier_counter)}"
+    while any(name.startswith(prefix) for name in ilp_space.names):
+        prefix = "_" + prefix
+    named_space = VariableSpace(
+        [f"{prefix}_{k}" for k in range(n_multipliers)] + list(ilp_space.names)
+    )
+    return FarkasResult(rows_to_constraints(rows, kinds, named_space))

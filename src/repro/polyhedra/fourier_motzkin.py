@@ -12,6 +12,16 @@ Two techniques are combined, mirroring what Pluto's Farkas machinery does:
 Over the rationals this yields the exact projection.  Over the integers the
 result is the rational shadow, which is an over-approximation; this is exactly
 what the legality/codegen layers need (guards re-establish exactness).
+
+The elimination core works on an *indexed integer* representation: variable
+names are interned to dense columns through
+:class:`repro.linalg.varspace.VariableSpace` and every constraint becomes a
+plain ``list[int]`` (coefficients followed by the constant, denominators
+cleared and GCD-reduced).  This keeps the hot combination loops free of both
+string hashing and :class:`~fractions.Fraction` normalisation; the public
+functions below still speak :class:`AffineConstraint` and convert at the
+boundary, while :func:`repro.polyhedra.farkas.farkas_nonnegative` feeds the
+core directly with indexed rows.
 """
 
 from __future__ import annotations
@@ -19,118 +29,239 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from ..linalg.varspace import VariableSpace, clear_denominators, reduce_integer_row
+from .affine import AffineExpr
 from .constraint import AffineConstraint, ConstraintKind
 
-__all__ = ["eliminate_variable", "eliminate_variables", "simplify_constraints"]
+__all__ = [
+    # AffineConstraint API
+    "eliminate_variable",
+    "eliminate_variables",
+    "simplify_constraints",
+    # Indexed integer core (used directly by repro.polyhedra.farkas)
+    "constraints_to_rows",
+    "rows_to_constraints",
+    "simplify_rows",
+    "eliminate_column",
+    "eliminate_columns",
+]
+
+# An indexed system is (rows, kinds): each row is a list of ints (one entry
+# per column plus the constant last), kinds[i] is True for an equality row.
+IndexedRows = list[list[int]]
+RowKinds = list[bool]
 
 
+# --------------------------------------------------------------------------- #
+# Public (AffineConstraint) API
+# --------------------------------------------------------------------------- #
 def eliminate_variable(
     constraints: Sequence[AffineConstraint], name: str
 ) -> list[AffineConstraint]:
     """Project the constraint system onto the dimensions other than *name*."""
-    equalities_with = [
-        c for c in constraints if c.is_equality and c.coefficient(name) != 0
-    ]
-    if equalities_with:
-        pivot = min(equalities_with, key=lambda c: abs(c.coefficient(name)))
-        return simplify_constraints(
-            _substitute_with_equality(constraints, pivot, name)
-        )
-    return simplify_constraints(_fourier_motzkin_step(constraints, name))
+    space = VariableSpace()
+    rows, kinds = constraints_to_rows(constraints, space)
+    column = space.get(name)
+    if column is None:
+        rows, kinds = simplify_rows(rows, kinds)
+    else:
+        rows, kinds = eliminate_column(rows, kinds, column)
+    return rows_to_constraints(rows, kinds, space)
 
 
 def eliminate_variables(
     constraints: Sequence[AffineConstraint], names: Iterable[str]
 ) -> list[AffineConstraint]:
     """Eliminate several variables, one at a time (cheapest first)."""
-    remaining = list(names)
-    system = list(constraints)
-    while remaining:
-        # Pick the variable whose elimination produces the fewest new constraints.
-        def cost(variable: str) -> int:
-            positives = sum(
-                1
-                for c in system
-                if not c.is_equality and c.coefficient(variable) > 0
-            )
-            negatives = sum(
-                1
-                for c in system
-                if not c.is_equality and c.coefficient(variable) < 0
-            )
-            has_equality = any(
-                c.is_equality and c.coefficient(variable) != 0 for c in system
-            )
-            return 0 if has_equality else positives * negatives
-
-        variable = min(remaining, key=cost)
-        remaining.remove(variable)
-        system = eliminate_variable(system, variable)
-    return system
+    space = VariableSpace()
+    rows, kinds = constraints_to_rows(constraints, space)
+    # Names absent from every constraint are already eliminated; interning
+    # them would alias the constant column of the rows built above.
+    columns = [
+        column
+        for column in (space.get(name) for name in names)
+        if column is not None
+    ]
+    rows, kinds = eliminate_columns(rows, kinds, columns)
+    return rows_to_constraints(rows, kinds, space)
 
 
 def simplify_constraints(constraints: Sequence[AffineConstraint]) -> list[AffineConstraint]:
     """Normalise coefficients, drop duplicates and trivially-true constraints."""
-    seen: set[tuple] = set()
-    result: list[AffineConstraint] = []
+    space = VariableSpace()
+    rows, kinds = constraints_to_rows(constraints, space)
+    rows, kinds = simplify_rows(rows, kinds)
+    return rows_to_constraints(rows, kinds, space)
+
+
+# --------------------------------------------------------------------------- #
+# Boundary conversions
+# --------------------------------------------------------------------------- #
+def constraints_to_rows(
+    constraints: Sequence[AffineConstraint], space: VariableSpace
+) -> tuple[IndexedRows, RowKinds]:
+    """Intern every name of *constraints* into *space* and emit integer rows."""
     for constraint in constraints:
-        normal = constraint.normalized()
-        if normal.is_trivially_true():
-            continue
-        key = (
-            normal.kind,
-            frozenset(normal.expression.coefficients.items()),
-            normal.expression.constant,
-        )
+        for name in constraint.expression.coefficients:
+            space.intern(name)
+    width = len(space)
+    rows: IndexedRows = []
+    kinds: RowKinds = []
+    for constraint in constraints:
+        expression = constraint.expression
+        dense: list[Fraction] = [Fraction(0)] * (width + 1)
+        for name, value in expression.coefficients.items():
+            dense[space.index_of(name)] = value
+        dense[width] = expression.constant
+        rows.append(clear_denominators(dense))
+        kinds.append(constraint.is_equality)
+    return rows, kinds
+
+
+def rows_to_constraints(
+    rows: IndexedRows, kinds: RowKinds, space: VariableSpace
+) -> list[AffineConstraint]:
+    """Convert indexed integer rows back into :class:`AffineConstraint` objects."""
+    names = space.names
+    constraints: list[AffineConstraint] = []
+    for row, is_equality in zip(rows, kinds):
+        coefficients = {
+            names[column]: Fraction(value)
+            for column, value in enumerate(row[:-1])
+            if value != 0
+        }
+        expression = AffineExpr(coefficients, Fraction(row[-1]))
+        kind = ConstraintKind.EQUALITY if is_equality else ConstraintKind.INEQUALITY
+        constraints.append(AffineConstraint(expression, kind))
+    return constraints
+
+
+# --------------------------------------------------------------------------- #
+# Indexed integer core
+# --------------------------------------------------------------------------- #
+def simplify_rows(rows: IndexedRows, kinds: RowKinds) -> tuple[IndexedRows, RowKinds]:
+    """GCD-reduce rows, drop duplicates and trivially-true rows (order kept)."""
+    seen: set[tuple] = set()
+    out_rows: IndexedRows = []
+    out_kinds: RowKinds = []
+    for row, is_equality in zip(rows, kinds):
+        row = reduce_integer_row(row)
+        if not any(row[:-1]):
+            constant = row[-1]
+            trivially_true = (constant == 0) if is_equality else (constant >= 0)
+            if trivially_true:
+                continue
+        key = (is_equality, tuple(row))
         if key in seen:
             continue
         seen.add(key)
-        result.append(normal)
-    return result
+        out_rows.append(row)
+        out_kinds.append(is_equality)
+    return out_rows, out_kinds
+
+
+def eliminate_column(
+    rows: IndexedRows, kinds: RowKinds, column: int
+) -> tuple[IndexedRows, RowKinds]:
+    """Project the indexed system onto the columns other than *column*."""
+    pivot_index: int | None = None
+    pivot_magnitude = 0
+    for index, (row, is_equality) in enumerate(zip(rows, kinds)):
+        if is_equality and row[column] != 0:
+            magnitude = abs(row[column])
+            if pivot_index is None or magnitude < pivot_magnitude:
+                pivot_index = index
+                pivot_magnitude = magnitude
+    if pivot_index is not None:
+        return simplify_rows(*_substitute_with_equality(rows, kinds, pivot_index, column))
+    return simplify_rows(*_fourier_motzkin_step(rows, kinds, column))
+
+
+def eliminate_columns(
+    rows: IndexedRows, kinds: RowKinds, columns: Iterable[int]
+) -> tuple[IndexedRows, RowKinds]:
+    """Eliminate several columns, one at a time (cheapest first)."""
+    remaining = list(columns)
+    while remaining:
+        # Pick the column whose elimination produces the fewest new rows:
+        # 0 when an equality can substitute it away, lower-bound count times
+        # upper-bound count for a pure Fourier–Motzkin step.
+        positives = dict.fromkeys(remaining, 0)
+        negatives = dict.fromkeys(remaining, 0)
+        equalities = dict.fromkeys(remaining, False)
+        for row, is_equality in zip(rows, kinds):
+            for column in remaining:
+                value = row[column]
+                if value == 0:
+                    continue
+                if is_equality:
+                    equalities[column] = True
+                elif value > 0:
+                    positives[column] += 1
+                else:
+                    negatives[column] += 1
+        best = None
+        best_cost = None
+        for column in remaining:
+            cost = 0 if equalities[column] else positives[column] * negatives[column]
+            if best_cost is None or cost < best_cost:
+                best = column
+                best_cost = cost
+        assert best is not None
+        remaining.remove(best)
+        rows, kinds = eliminate_column(rows, kinds, best)
+    return rows, kinds
 
 
 def _substitute_with_equality(
-    constraints: Sequence[AffineConstraint], pivot: AffineConstraint, name: str
-) -> list[AffineConstraint]:
-    pivot_coeff = pivot.coefficient(name)
-    sign = 1 if pivot_coeff > 0 else -1
-    magnitude = abs(pivot_coeff)
-    result: list[AffineConstraint] = []
-    for constraint in constraints:
-        if constraint is pivot:
+    rows: IndexedRows, kinds: RowKinds, pivot_index: int, column: int
+) -> tuple[IndexedRows, RowKinds]:
+    pivot = rows[pivot_index]
+    pivot_coefficient = pivot[column]
+    sign = 1 if pivot_coefficient > 0 else -1
+    magnitude = abs(pivot_coefficient)
+    out_rows: IndexedRows = []
+    out_kinds: RowKinds = []
+    for index, (row, is_equality) in enumerate(zip(rows, kinds)):
+        if index == pivot_index:
             continue
-        coeff = constraint.coefficient(name)
-        if coeff == 0:
-            result.append(constraint)
+        coefficient = row[column]
+        if coefficient == 0:
+            out_rows.append(row)
+            out_kinds.append(is_equality)
             continue
-        # magnitude * C  -  sign * coeff * pivot  cancels the variable and keeps
-        # the multiplier on the (possibly) inequality C positive.
-        expression = constraint.expression * magnitude - pivot.expression * (sign * coeff)
-        result.append(AffineConstraint(expression, constraint.kind))
-    return result
+        # magnitude * row  -  sign * coefficient * pivot  cancels the column and
+        # keeps the multiplier on the (possibly) inequality row positive.
+        factor = sign * coefficient
+        out_rows.append(
+            [magnitude * value - factor * p for value, p in zip(row, pivot)]
+        )
+        out_kinds.append(is_equality)
+    return out_rows, out_kinds
 
 
 def _fourier_motzkin_step(
-    constraints: Sequence[AffineConstraint], name: str
-) -> list[AffineConstraint]:
-    unrelated: list[AffineConstraint] = []
-    lower_bounds: list[AffineConstraint] = []  # positive coefficient on `name`
-    upper_bounds: list[AffineConstraint] = []  # negative coefficient on `name`
-    for constraint in constraints:
-        coeff = constraint.coefficient(name)
-        if coeff == 0:
-            unrelated.append(constraint)
-        elif constraint.is_equality:
-            raise AssertionError("equalities involving the variable are handled by substitution")
-        elif coeff > 0:
-            lower_bounds.append(constraint)
+    rows: IndexedRows, kinds: RowKinds, column: int
+) -> tuple[IndexedRows, RowKinds]:
+    unrelated_rows: IndexedRows = []
+    unrelated_kinds: RowKinds = []
+    lower_bounds: IndexedRows = []  # positive coefficient on the column
+    upper_bounds: IndexedRows = []  # negative coefficient on the column
+    for row, is_equality in zip(rows, kinds):
+        coefficient = row[column]
+        if coefficient == 0:
+            unrelated_rows.append(row)
+            unrelated_kinds.append(is_equality)
+        elif is_equality:
+            raise AssertionError("equalities involving the column are handled by substitution")
+        elif coefficient > 0:
+            lower_bounds.append(row)
         else:
-            upper_bounds.append(constraint)
-    combined: list[AffineConstraint] = []
+            upper_bounds.append(row)
+    combined: IndexedRows = []
     for lower in lower_bounds:
-        a = lower.coefficient(name)
+        a = lower[column]
         for upper in upper_bounds:
-            b = upper.coefficient(name)
-            expression = lower.expression * (-b) + upper.expression * a
-            combined.append(AffineConstraint(expression, ConstraintKind.INEQUALITY))
-    return unrelated + combined
+            b = -upper[column]
+            combined.append([b * lv + a * uv for lv, uv in zip(lower, upper)])
+    return unrelated_rows + combined, unrelated_kinds + [False] * len(combined)

@@ -4,13 +4,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..deps.dependence import Dependence
 from ..ilp.problem import LinearProblem
 from ..model.scop import Scop
 from ..model.statement import Statement
 from .config import SchedulerConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .solver_context import SolverContext
 
 __all__ = ["IlpBuildContext"]
 
@@ -34,6 +37,17 @@ class IlpBuildContext:
     config: SchedulerConfig
     completed_statements: frozenset[str] = frozenset()
     notes: dict[str, object] = field(default_factory=dict)
+    solver_context: "SolverContext | None" = None
+
+    def dependence_key(self, dependence: Dependence) -> int:
+        """Stable cache key for *dependence* (its interned index in the run).
+
+        Falls back to ``id()`` only when no solver context is attached (a
+        hand-built context); with a context the key is immune to id reuse.
+        """
+        if self.solver_context is not None:
+            return self.solver_context.intern_dependence(dependence)
+        return id(dependence)
 
     def statement(self, name: str) -> Statement:
         for statement in self.statements:

@@ -29,7 +29,7 @@ from typing import Mapping, Sequence
 
 from ..deps.analysis import compute_dependences, deduplicate_dependences
 from ..deps.dependence import Dependence
-from ..ilp.solver import IlpSolution, IlpSolver
+from ..ilp.solver import IlpSolution
 from ..model.schedule import Schedule, StatementSchedule
 from ..model.scop import Scop
 from ..polyhedra.affine import AffineExpr
@@ -46,6 +46,7 @@ from .fusion import DistributionDecision, FusionController
 from .ilp_builder import IlpBuilder
 from .naming import constant_coefficient, iterator_coefficient, parameter_coefficient
 from .progression import ProgressionState
+from .solver_context import SolverContext
 
 __all__ = ["PolyTOPSScheduler", "SchedulingResult"]
 
@@ -56,13 +57,19 @@ _deduplicate = deduplicate_dependences
 
 @dataclass
 class SchedulingResult:
-    """Outcome of a scheduling run."""
+    """Outcome of a scheduling run.
+
+    ``statistics`` mixes scheduler-level counters (``ilp_solved``,
+    ``dimensions``, ``dependences``) with the solver counters aggregated by
+    the run's :class:`SolverContext` (pivots, branch & bound nodes,
+    warm-start hits, encode/solve seconds, oracle fallbacks).
+    """
 
     schedule: Schedule
     dependences: list[Dependence]
     satisfaction_dimension: dict[int, int] = field(default_factory=dict)
     fallback_to_original: bool = False
-    statistics: dict[str, int] = field(default_factory=dict)
+    statistics: dict[str, int | float] = field(default_factory=dict)
 
     @property
     def n_dimensions(self) -> int:
@@ -101,7 +108,11 @@ class PolyTOPSScheduler:
         )
         self.statements = list(scop.statements)
         self._by_name = {statement.name: statement for statement in self.statements}
-        self.solver = IlpSolver()
+        # One solver context per run: it owns the ILP solver, the cached
+        # legality/cost row blocks and the stable dependence indices shared by
+        # every scheduling dimension.
+        self.solver_context = SolverContext(dependences=self.dependences)
+        self.solver = self.solver_context.solver
 
     # ------------------------------------------------------------------ #
     # Main entry point
@@ -114,7 +125,9 @@ class PolyTOPSScheduler:
         progression = ProgressionState(self.statements)
         directives = DirectiveManager(self.config, self.statements)
         fusion = FusionController(self.config, self.statements)
-        builder = IlpBuilder(self.scop, self.config, self.parameter_values)
+        builder = IlpBuilder(
+            self.scop, self.config, self.parameter_values, self.solver_context
+        )
         parser = CustomConstraintParser(self.statements, self.config.new_variables)
 
         rows: dict[str, list[AffineExpr]] = {s.name: [] for s in self.statements}
@@ -229,7 +242,7 @@ class PolyTOPSScheduler:
                     dimension, active_objects, progression, dimension_config,
                     custom_rows, attempt_rows,
                 )
-                solution = self.solver.solve(problem)
+                solution = self.solver_context.solve(problem)
                 ilp_count += 1
                 if solution is not None:
                     break
@@ -245,7 +258,7 @@ class PolyTOPSScheduler:
                             dimension, active_objects, progression, dimension_config,
                             custom_rows, attempt_rows,
                         )
-                        solution = self.solver.solve(problem)
+                        solution = self.solver_context.solve(problem)
                         ilp_count += 1
                         if solution is not None:
                             break
@@ -288,11 +301,7 @@ class PolyTOPSScheduler:
             undo_state = None
 
         schedule = self._finalize(rows, bands, parallel, directives)
-        statistics = {
-            "ilp_solved": ilp_count,
-            "dimensions": schedule.n_dims,
-            "dependences": len(self.dependences),
-        }
+        statistics = self._statistics(ilp_count, schedule.n_dims)
         return SchedulingResult(
             schedule, list(self.dependences), satisfaction_dimension, False, statistics
         )
@@ -452,11 +461,16 @@ class PolyTOPSScheduler:
         self, satisfaction_dimension: dict[int, int], ilp_count: int
     ) -> SchedulingResult:
         schedule = self.scop.original_schedule()
-        statistics = {
-            "ilp_solved": ilp_count,
-            "dimensions": schedule.n_dims,
-            "dependences": len(self.dependences),
-        }
+        statistics = self._statistics(ilp_count, schedule.n_dims)
         return SchedulingResult(
             schedule, list(self.dependences), satisfaction_dimension, True, statistics
         )
+
+    def _statistics(self, ilp_count: int, n_dims: int) -> dict[str, int | float]:
+        statistics: dict[str, int | float] = {
+            "ilp_solved": ilp_count,
+            "dimensions": n_dims,
+            "dependences": len(self.dependences),
+        }
+        statistics.update(self.solver_context.statistics())
+        return statistics

@@ -40,7 +40,7 @@ class FeautrierCost(CostFunction):
             indicator = satisfaction_indicator(dependence.identifier())
             context.problem.add_variable(indicator, 0, 1)
             indicators.append(indicator)
-            key = id(dependence)
+            key = context.dependence_key(dependence)
             if key not in cache:
                 source = context.statement(dependence.source)
                 target = context.statement(dependence.target)

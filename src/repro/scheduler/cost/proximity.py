@@ -46,7 +46,7 @@ class ProximityCost(CostFunction):
 
         cache: dict[int, list] = context.notes.get("row_caches", {}).setdefault("proximity", {})
         for dependence in context.active_dependences:
-            key = id(dependence)
+            key = context.dependence_key(dependence)
             if key not in cache:
                 source = context.statement(dependence.source)
                 target = context.statement(dependence.target)

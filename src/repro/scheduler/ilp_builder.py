@@ -24,6 +24,7 @@ from .cost import resolve_cost_function
 from .legality import legality_rows
 from .naming import constant_coefficient, iterator_coefficient, parameter_coefficient
 from .progression import ProgressionState, progression_rows
+from .solver_context import SolverContext
 
 __all__ = ["IlpBuilder"]
 
@@ -31,23 +32,27 @@ IlpRow = tuple[dict[str, Fraction], str, Fraction]
 
 
 class IlpBuilder:
-    """Builds one :class:`LinearProblem` per scheduling dimension."""
+    """Builds one :class:`LinearProblem` per scheduling dimension.
+
+    The builder shares a :class:`SolverContext` with the scheduler: Farkas row
+    blocks only depend on the dependence (and the statements), not on the
+    scheduling dimension, so they are computed once per dependence for the
+    whole run and cached in the context under the dependence's stable index.
+    """
 
     def __init__(
         self,
         scop: Scop,
         config: SchedulerConfig,
         parameter_values: Mapping[str, int],
+        solver_context: SolverContext | None = None,
     ):
         self.scop = scop
         self.config = config
         self.parameter_values = dict(parameter_values)
         self.statements = list(scop.statements)
         self._statement_by_name = {statement.name: statement for statement in self.statements}
-        # Farkas rows only depend on the dependence (and the statements), not on
-        # the scheduling dimension, so they are computed once per dependence.
-        self._legality_cache: dict[int, list[IlpRow]] = {}
-        self._row_caches: dict[str, dict[int, list[IlpRow]]] = {}
+        self.solver_context = solver_context if solver_context is not None else SolverContext()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -80,19 +85,24 @@ class IlpBuilder:
             parameter_values=self.parameter_values,
             config=self.config,
             completed_statements=completed,
+            solver_context=self.solver_context,
         )
-        context.notes["row_caches"] = self._row_caches
+        context.notes["row_caches"] = self.solver_context.row_caches
 
-        # Legality (Eq. 2) for every active dependence, always present.
+        # Legality (Eq. 2) for every active dependence, always present.  The
+        # cache key is the context's stable dependence index, never a raw
+        # id(): the context pins every interned dependence, so the block can
+        # never be served for a recycled object.
+        legality_cache = self.solver_context.block_cache("legality")
         for dependence in active_dependences:
-            key = id(dependence)
-            if key not in self._legality_cache:
+            key = self.solver_context.intern_dependence(dependence)
+            if key not in legality_cache:
                 source = self._statement_by_name[dependence.source]
                 target = self._statement_by_name[dependence.target]
-                self._legality_cache[key] = legality_rows(
+                legality_cache[key] = legality_rows(
                     dependence, source, target, minimum=0
                 )
-            context.add_rows(self._legality_cache[key])
+            context.add_rows(legality_cache[key])
 
         # Progression (Eq. 3) for every statement that still needs dimensions.
         for statement in self.statements:

@@ -1,0 +1,93 @@
+"""Persistent solver state shared by every dimension of one scheduling run.
+
+Algorithm 1 solves a sequence of near-identical ILPs: the legality block of a
+band is shared by all of its dimensions, the bounding rows of the proximity
+cost only depend on the dependence, and the same solver serves every
+dimension.  :class:`SolverContext` is the object that survives across those
+solves.  It owns
+
+* the :class:`~repro.ilp.solver.IlpSolver` (and therefore the incremental
+  engine's aggregated statistics),
+* the cached constraint-row blocks, keyed per family ("legality",
+  "proximity", ...) by a **stable dependence index** — the context interns
+  every dependence it sees and holds a strong reference, so the index can
+  never be confused by a recycled ``id()`` the way the historical
+  ``id(dependence)``-keyed caches could be.
+
+(Variable-name interning itself lives one layer down: the indexed
+Fourier–Motzkin/Farkas core and the engine's standard-form encoder each
+intern their own column spaces per linearisation/problem.)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..deps.dependence import Dependence
+from ..ilp.solver import IlpSolver
+
+__all__ = ["SolverContext"]
+
+IlpRow = tuple[dict[str, Fraction], str, Fraction]
+
+
+class SolverContext:
+    """Solver, row-block caches and variable interning for one scheduling run."""
+
+    def __init__(
+        self,
+        node_limit: int = 20000,
+        engine: str | None = None,
+        dependences: tuple[Dependence, ...] | list[Dependence] = (),
+    ):
+        self.solver = IlpSolver(node_limit=node_limit, engine=engine)
+        self.row_caches: dict[str, dict[int, list[IlpRow]]] = {}
+        self._dependence_index: dict[int, int] = {}
+        self._dependences: list[Dependence] = []
+        self.solve_calls = 0
+        for dependence in dependences:
+            self.intern_dependence(dependence)
+
+    # ------------------------------------------------------------------ #
+    # Dependence interning
+    # ------------------------------------------------------------------ #
+    def intern_dependence(self, dependence: Dependence) -> int:
+        """Stable index of *dependence* for this run.
+
+        The context keeps a strong reference to every interned dependence, so
+        the identity-to-index mapping stays valid for the context's lifetime
+        (a garbage-collected dependence can never leak its index to a new
+        object).
+        """
+        key = id(dependence)
+        index = self._dependence_index.get(key)
+        if index is None:
+            index = len(self._dependences)
+            self._dependence_index[key] = index
+            self._dependences.append(dependence)
+        return index
+
+    @property
+    def interned_dependences(self) -> tuple[Dependence, ...]:
+        return tuple(self._dependences)
+
+    # ------------------------------------------------------------------ #
+    # Row-block caches
+    # ------------------------------------------------------------------ #
+    def block_cache(self, family: str) -> dict[int, list[IlpRow]]:
+        """The per-dependence row cache of one constraint family."""
+        return self.row_caches.setdefault(family, {})
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve(self, problem):
+        """Solve through the shared solver (counts the call)."""
+        self.solve_calls += 1
+        return self.solver.solve(problem)
+
+    def statistics(self) -> dict[str, int | float]:
+        """Aggregated solver counters for this run (engine + oracle path)."""
+        summary = self.solver.statistics_summary()
+        summary["solve_calls"] = self.solve_calls
+        return summary

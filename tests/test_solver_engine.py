@@ -1,0 +1,363 @@
+"""Differential and unit tests for the incremental warm-started ILP engine.
+
+The engine (:mod:`repro.ilp.engine`) must return exactly what the retained
+dense oracle path returns: same feasibility verdicts, same lexicographic
+objective values, and — on the scheduler's problems — the same schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.ilp import (
+    EngineStatistics,
+    IlpSolver,
+    IncrementalIlpEngine,
+    LinearProblem,
+)
+from repro.linalg.varspace import (
+    VariableSpace,
+    clear_denominators,
+    reduce_integer_row,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Indexed-core units
+# --------------------------------------------------------------------------- #
+class TestVariableSpace:
+    def test_interning_is_stable_and_dense(self):
+        space = VariableSpace()
+        assert space.intern("a") == 0
+        assert space.intern("b") == 1
+        assert space.intern("a") == 0
+        assert space.names == ("a", "b")
+        assert len(space) == 2
+        assert "a" in space and "c" not in space
+
+    def test_encode_decode_roundtrip(self):
+        space = VariableSpace(["a", "b", "c"])
+        row = space.encode({"c": Fraction(2), "a": Fraction(-1)})
+        assert row == [Fraction(-1), Fraction(0), Fraction(2)]
+        assert space.decode(row) == {"a": Fraction(-1), "c": Fraction(2)}
+
+    def test_encode_interns_unknown_names(self):
+        space = VariableSpace(["a"])
+        row = space.encode({"b": 3})
+        assert space.names == ("a", "b")
+        assert row == [Fraction(0), Fraction(3)]
+
+    def test_integer_row_helpers(self):
+        assert clear_denominators([Fraction(1, 2), Fraction(1, 3)]) == [3, 2]
+        assert reduce_integer_row([4, -6, 8]) == [2, -3, 4]
+        assert reduce_integer_row([0, 0]) == [0, 0]
+        # The canonical implementations live in linalg.rational.
+        from repro.linalg.rational import normalize_integer_row, scale_to_integers
+
+        assert clear_denominators is scale_to_integers
+        assert reduce_integer_row is normalize_integer_row
+
+    def test_eliminating_absent_variables_is_a_no_op(self):
+        # Regression: interning a never-seen name used to alias the constant
+        # column of already-built rows, silently corrupting the system.
+        from repro.polyhedra.affine import AffineExpr
+        from repro.polyhedra.constraint import AffineConstraint
+        from repro.polyhedra.fourier_motzkin import eliminate_variables
+
+        i = AffineExpr.variable("i")
+        constraints = [
+            AffineConstraint.equals(i, 5),
+            AffineConstraint.less_equal(i, 10),
+        ]
+        projected = eliminate_variables(constraints, ["j", "k"])
+        survivors = {str(c) for c in projected}
+        assert any("i" in text and "==" in text for text in survivors), survivors
+
+
+# --------------------------------------------------------------------------- #
+# Engine behaviour
+# --------------------------------------------------------------------------- #
+class TestEngineBasics:
+    def test_simple_lexicographic_solve(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 5)
+        problem.add_variable("y", 0, 5)
+        problem.add_constraint({"x": 1, "y": 1}, ">=", 4)
+        problem.add_objective({"x": 1})
+        problem.add_objective({"y": 1})
+        solution = IncrementalIlpEngine(problem).solve()
+        assert solution is not None
+        assert solution.value("x") == 0 and solution.value("y") == 4
+        assert solution.objective_values == [Fraction(0), Fraction(4)]
+
+    def test_infeasible_returns_none(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 1)
+        problem.add_constraint({"x": 1}, ">=", 5)
+        assert IncrementalIlpEngine(problem).solve() is None
+
+    def test_unbounded_raises_like_the_solver(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, None)
+        problem.add_objective({"x": -1})
+        with pytest.raises(ValueError, match="unbounded"):
+            IncrementalIlpEngine(problem).solve()
+
+    def test_integer_branching(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 10)
+        problem.add_constraint({"x": 2}, ">=", 3)  # x >= 1.5 -> integer x >= 2
+        problem.add_objective({"x": 1})
+        solution = IncrementalIlpEngine(problem).solve()
+        assert solution.value("x") == 2
+
+    def test_no_integer_point_in_fractional_region(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 10)
+        problem.add_constraint({"x": 2}, "==", 5)  # x = 2.5
+        assert IncrementalIlpEngine(problem).solve() is None
+
+    def test_free_and_shifted_variables(self):
+        problem = LinearProblem()
+        problem.add_variable("x", None, 5)
+        problem.add_variable("y", -3, 5)
+        problem.add_constraint({"x": 1, "y": 1}, "==", -4)
+        problem.add_objective({"x": -1})
+        solution = IncrementalIlpEngine(problem).solve()
+        assert solution is not None
+        assert solution.value("x") + solution.value("y") == -4
+        assert solution.value("x") == -1  # maximal x given y <= 5... y = -3 -> x = -1
+
+    def test_degenerate_problem_terminates(self):
+        # The degenerate vertex forces ties in the ratio test; the Bland-style
+        # tie-breaks must still terminate and find the optimum.
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 10)
+        problem.add_variable("y", 0, 10)
+        problem.add_constraint({"x": 1, "y": 1}, "<=", 0)
+        problem.add_constraint({"x": 1, "y": -1}, "<=", 0)
+        problem.add_constraint({"x": 1}, ">=", 0)
+        problem.add_objective({"x": -1})
+        solution = IncrementalIlpEngine(problem).solve()
+        assert solution is not None
+        assert solution.value("x") == 0
+
+    def test_statistics_are_recorded(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 9)
+        problem.add_constraint({"x": 3}, ">=", 7)
+        problem.add_objective({"x": 1})
+        stats = EngineStatistics()
+        engine = IncrementalIlpEngine(problem, stats=stats)
+        engine.solve()
+        assert stats.solves == 1
+        assert stats.stages == 1
+        assert stats.nodes >= 1
+        assert stats.encode_seconds >= 0.0
+        assert stats.solve_seconds > 0.0
+
+    def test_warm_start_hits_on_branching(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 9)
+        problem.add_variable("y", 0, 9)
+        problem.add_constraint({"x": 2, "y": 2}, "==", 5)  # forces branching
+        stats = EngineStatistics()
+        assert IncrementalIlpEngine(problem, stats=stats).solve() is None
+        assert stats.warm_start_hits > 0
+
+
+class TestSolverDispatch:
+    def test_explicit_backend_forces_oracle(self):
+        from repro.ilp import ExactSimplexBackend
+
+        solver = IlpSolver(backend=ExactSimplexBackend())
+        assert solver.engine == "oracle"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            IlpSolver(engine="quantum")
+
+    def test_statistics_summary_keys(self):
+        solver = IlpSolver()
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 3)
+        problem.add_constraint({"x": 1}, ">=", 1)
+        problem.add_objective({"x": 1})
+        assert solver.solve(problem) is not None
+        summary = solver.statistics_summary()
+        for key in (
+            "pivots",
+            "nodes",
+            "warm_start_hits",
+            "encode_seconds",
+            "solve_seconds",
+            "lex_solves",
+            "engine_fallbacks",
+        ):
+            assert key in summary
+        assert summary["lex_solves"] == 1
+        assert summary["engine_fallbacks"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Randomised differential tests: engine vs. dense oracle
+# --------------------------------------------------------------------------- #
+def _random_problem(rng: random.Random) -> LinearProblem:
+    """Scheduler-shaped random MILP: bounded integers, mixed-sense rows."""
+    problem = LinearProblem()
+    n = rng.randint(2, 5)
+    names = [f"x{i}" for i in range(n)]
+    for name in names:
+        if rng.random() < 0.25:
+            problem.add_variable(name, -rng.randint(1, 3), rng.randint(2, 6))
+        else:
+            problem.add_variable(name, 0, rng.randint(2, 8))
+    for _ in range(rng.randint(1, 7)):
+        coefficients = {
+            name: rng.randint(-3, 3)
+            for name in rng.sample(names, rng.randint(1, n))
+        }
+        coefficients = {k: v for k, v in coefficients.items() if v}
+        if not coefficients:
+            continue
+        problem.add_constraint(
+            coefficients, rng.choice([">=", "<=", "=="]), rng.randint(-5, 9)
+        )
+    for _ in range(rng.randint(0, 3)):
+        objective = {name: rng.randint(-3, 3) for name in names}
+        objective = {k: v for k, v in objective.items() if v}
+        if objective:
+            problem.add_objective(objective)
+    return problem
+
+
+class TestDifferential:
+    def test_engine_matches_oracle_on_random_problems(self):
+        rng = random.Random(20260730)
+        fallbacks = 0
+        for _ in range(150):
+            problem = _random_problem(rng)
+            incremental = IlpSolver(engine="incremental")
+            oracle = IlpSolver(engine="oracle")
+            a = incremental.solve(problem)
+            b = oracle.solve(problem)
+            assert (a is None) == (b is None)
+            if a is not None and b is not None:
+                assert a.objective_values == b.objective_values
+                assert problem.is_feasible_assignment(a.assignment)
+            fallbacks += incremental.engine_fallbacks
+        # The engine must stand on its own on scheduler-shaped problems.
+        assert fallbacks == 0
+
+    def test_engine_matches_oracle_with_fractional_data(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            problem = LinearProblem()
+            names = ["a", "b", "c"]
+            for name in names:
+                problem.add_variable(name, 0, rng.randint(3, 6))
+            for _ in range(rng.randint(1, 4)):
+                coefficients = {
+                    name: Fraction(rng.randint(-4, 4), rng.randint(1, 3))
+                    for name in rng.sample(names, rng.randint(1, 3))
+                }
+                coefficients = {k: v for k, v in coefficients.items() if v}
+                if not coefficients:
+                    continue
+                problem.add_constraint(
+                    coefficients,
+                    rng.choice([">=", "<=", "=="]),
+                    Fraction(rng.randint(-4, 8), rng.randint(1, 2)),
+                )
+            problem.add_objective({name: rng.randint(-2, 3) for name in names})
+            a = IlpSolver(engine="incremental").solve(problem)
+            b = IlpSolver(engine="oracle").solve(problem)
+            assert (a is None) == (b is None)
+            if a is not None and b is not None:
+                assert a.objective_values == b.objective_values
+                assert problem.is_feasible_assignment(a.assignment)
+
+    def test_engine_and_oracle_schedule_identically(self):
+        """Full-path differential: both engines must produce the same schedule."""
+        from repro.scheduler.core import PolyTOPSScheduler
+        from repro.scheduler.strategies import isl_style, pluto_style
+        from repro.suites.polybench.blas import gemm, gemver
+        from repro.suites.polybench.stencils import jacobi_2d
+
+        import os
+
+        saved = os.environ.get("REPRO_ILP_ENGINE")
+        try:
+            for scop in (gemm(6, 6, 6), gemver(8), jacobi_2d(6, 3)):
+                for config in (pluto_style(), isl_style()):
+                    os.environ["REPRO_ILP_ENGINE"] = "incremental"
+                    incremental = PolyTOPSScheduler(scop, config).schedule()
+                    os.environ["REPRO_ILP_ENGINE"] = "oracle"
+                    oracle = PolyTOPSScheduler(scop, config).schedule()
+                    self._compare(scop, config, incremental, oracle)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_ILP_ENGINE", None)
+            else:
+                os.environ["REPRO_ILP_ENGINE"] = saved
+
+    @staticmethod
+    def _compare(scop, config, incremental, oracle):
+        for statement in scop.statements:
+            assert (
+                incremental.schedule.statements[statement.name].rows
+                == oracle.schedule.statements[statement.name].rows
+            ), f"schedule mismatch on {scop.name}/{config.name}/{statement.name}"
+        assert (
+            incremental.statistics["engine_fallbacks"] == 0
+        ), f"engine fell back on {scop.name}/{config.name}"
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler-layer cache keying (the id()-reuse satellite fix)
+# --------------------------------------------------------------------------- #
+class TestSolverContextCaching:
+    def test_dependence_interning_is_stable(self):
+        from repro.deps.analysis import compute_dependences
+        from repro.scheduler.solver_context import SolverContext
+        from repro.suites.polybench.blas import gemm
+
+        dependences = compute_dependences(gemm(6, 6, 6))
+        context = SolverContext(dependences=dependences)
+        first = [context.intern_dependence(dep) for dep in dependences]
+        second = [context.intern_dependence(dep) for dep in dependences]
+        assert first == second == list(range(len(dependences)))
+        # The context pins the objects: the identity map cannot be confused
+        # by garbage collection recycling an id.
+        assert context.interned_dependences == tuple(dependences)
+
+    def test_legality_cache_uses_stable_indices(self):
+        from repro.deps.analysis import compute_dependences
+        from repro.scheduler.config import SchedulerConfig
+        from repro.scheduler.ilp_builder import IlpBuilder
+        from repro.scheduler.progression import ProgressionState
+        from repro.scheduler.solver_context import SolverContext
+        from repro.suites.polybench.blas import gemm
+
+        scop = gemm(6, 6, 6)
+        dependences = compute_dependences(scop)
+        config = SchedulerConfig(name="test")
+        context = SolverContext(dependences=dependences)
+        builder = IlpBuilder(scop, config, {}, context)
+        progression = ProgressionState(list(scop.statements))
+        builder.build(0, dependences, progression, config.dimension_config(0))
+        cache = context.block_cache("legality")
+        assert set(cache) <= set(range(len(dependences)))
+        assert len(cache) == len(dependences)
+
+    def test_scheduling_statistics_expose_solver_counters(self):
+        from repro.scheduler.core import PolyTOPSScheduler
+        from repro.suites.polybench.blas import gemm
+
+        result = PolyTOPSScheduler(gemm(6, 6, 6)).schedule()
+        for key in ("ilp_solved", "pivots", "nodes", "warm_start_hits", "solve_calls"):
+            assert key in result.statistics
+        assert result.statistics["solve_calls"] >= 1
