@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import random
 import sys
 import time
@@ -30,6 +32,22 @@ if __package__ in (None, ""):  # script mode: make `import repro` resolvable
 
 from repro.ilp import IlpSolver, LinearProblem
 from repro.ilp.engine import IncrementalIlpEngine
+
+
+def machine_info() -> dict:
+    """The host facts the CI perf gate needs to rule out apples-vs-oranges.
+
+    Wall-clock numbers only compare safely between hosts with the same CPU
+    budget and interpreter; the gate skips its timing check (and keeps the
+    machine-independent work-counter check) when these differ.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
 
 
 def synthetic_problems(count: int, seed: int = 20260730) -> list[LinearProblem]:
@@ -90,14 +108,70 @@ def scheduler_problems(quick: bool) -> list[LinearProblem]:
 
 
 def _solve_all(
-    problems: list[LinearProblem], engine: str
+    problems: list[LinearProblem],
+    engine: str,
+    workers: int = 1,
+    processes: bool = False,
 ) -> tuple[float, list, IlpSolver]:
-    solver = IlpSolver(engine=engine)
+    solver = IlpSolver(engine=engine, workers=workers, processes=processes)
     solutions = []
     started = time.perf_counter()
-    for problem in problems:
-        solutions.append(solver.solve(problem))
+    try:
+        for problem in problems:
+            solutions.append(solver.solve(problem))
+    finally:
+        solver.close()
     return time.perf_counter() - started, solutions, solver
+
+
+def branching_heavy_problems(count: int, seed: int = 8128) -> list[LinearProblem]:
+    """Knapsack-style MILPs with deep B&B trees (the parallel corpus).
+
+    The scheduler's own problems rarely branch (their relaxations are almost
+    always integral), so the parallel layer is exercised on a corpus where
+    branch & bound is the actual cost.
+    """
+    rng = random.Random(seed)
+    problems: list[LinearProblem] = []
+    for _ in range(count):
+        problem = LinearProblem()
+        n = rng.randint(5, 7)
+        coefficients = rng.sample([2, 3, 5, 7, 11, 13, 17, 19], n)
+        for index in range(n):
+            problem.add_variable(f"x{index}", 0, rng.randint(3, 5))
+        problem.add_constraint(
+            {f"x{index}": value for index, value in enumerate(coefficients)},
+            "==",
+            rng.randint(20, 40),
+        )
+        problem.add_objective({f"x{index}": 1 for index in range(n)})
+        problems.append(problem)
+    return problems
+
+
+def run_workers(workers: int, quick: bool = False, processes: bool = False) -> dict:
+    """Time the B&B-heavy corpus with 1 vs *workers* workers (determinism checked)."""
+    problems = branching_heavy_problems(6 if quick else 24)
+    base_seconds, base_solutions, _ = _solve_all(problems, "incremental", workers=1)
+    par_seconds, par_solutions, par_solver = _solve_all(
+        problems, "incremental", workers=workers, processes=processes
+    )
+    mismatches = sum(
+        1
+        for a, b in zip(base_solutions, par_solutions)
+        if (a is None) != (b is None)
+        or (a is not None and (a.assignment, a.node_key) != (b.assignment, b.node_key))
+    )
+    return {
+        "workers": workers,
+        "mode": "process" if processes else "thread",
+        "problems": len(problems),
+        "sequential_seconds": base_seconds,
+        "parallel_seconds": par_seconds,
+        "speedup": (base_seconds / par_seconds) if par_seconds else None,
+        "mismatches": mismatches,
+        "parallel_statistics": par_solver.statistics_summary(),
+    }
 
 
 def run(quick: bool = False) -> dict:
@@ -118,6 +192,7 @@ def run(quick: bool = False) -> dict:
     return {
         "problems": len(problems),
         "quick": quick,
+        "machine": machine_info(),
         "engine_seconds": engine_seconds,
         "oracle_seconds": oracle_seconds,
         "speedup_vs_oracle": (oracle_seconds / engine_seconds)
@@ -168,13 +243,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default=None, help="write the timing JSON to this path"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also time the B&B-heavy corpus with N parallel workers vs 1",
+    )
+    parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="use forked process workers for --workers (default: threads)",
+    )
     arguments = parser.parse_args(argv)
     report = run(quick=arguments.quick)
+    mismatches = report["mismatches"]
+    if arguments.workers:
+        report["workers_benchmark"] = run_workers(
+            arguments.workers, quick=arguments.quick, processes=arguments.processes
+        )
+        mismatches += report["workers_benchmark"]["mismatches"]
     text = json.dumps(report, indent=2, default=str)
     print(text)
     if arguments.output:
         Path(arguments.output).write_text(text + "\n")
-    return 1 if report["mismatches"] else 0
+    return 1 if mismatches else 0
 
 
 if __name__ == "__main__":

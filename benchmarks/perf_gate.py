@@ -1,0 +1,164 @@
+"""CI perf gate: compare a fresh ``BENCH_solver.json`` against the baseline.
+
+Usage::
+
+    python benchmarks/perf_gate.py BENCH_solver.json \
+        [--baseline benchmarks/baselines/solver_baseline.json] \
+        [--threshold 0.25]
+
+Two checks, in decreasing order of trust:
+
+* **work counters** (simplex pivots and branch & bound nodes on the engine
+  corpus) are deterministic for a given corpus — they compare safely across
+  machines and catch algorithmic regressions (a lost warm start, a broken
+  prune) no matter where the job runs;
+* **wall time** (``engine_seconds``) only compares within the same CPU
+  budget and interpreter, so it is checked **only when the report's machine
+  info matches the baseline's** (same ``cpu_count``, Python
+  ``major.minor``, implementation and architecture) and skipped otherwise —
+  this is why ``bench_solver.py`` embeds ``machine_info()`` in the JSON.
+
+Either check failing a >``threshold`` (default 25%) slowdown fails the job.
+
+Overrides, both documented in the README:
+
+* set ``PERF_GATE_SKIP=1`` in the environment (CI wires this to the
+  ``skip-perf-gate`` PR label) to skip the gate entirely;
+* refresh the committed baseline from a trusted run:
+  ``python benchmarks/bench_solver.py --quick --output
+  benchmarks/baselines/solver_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "solver_baseline.json"
+
+#: Metrics that are deterministic for a fixed corpus (machine-independent).
+WORK_COUNTERS = ("pivots", "nodes")
+
+
+def _machine_signature(report: dict) -> tuple:
+    machine = report.get("machine") or {}
+    version = str(machine.get("python_version", ""))
+    return (
+        machine.get("cpu_count"),
+        ".".join(version.split(".")[:2]),
+        machine.get("python_implementation"),
+        machine.get("machine"),
+        machine.get("system"),
+    )
+
+
+def compare(report: dict, baseline: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """Return (failures, notes) of *report* against *baseline*."""
+    failures: list[str] = []
+    notes: list[str] = []
+
+    if report.get("quick") != baseline.get("quick"):
+        # A silent skip here would disable the gate forever after a bad
+        # baseline refresh; a corpus mismatch is a misconfiguration and
+        # must be loud.
+        failures.append(
+            "corpus mismatch (quick=%r vs baseline quick=%r): refresh the "
+            "baseline with the same bench_solver.py flags CI uses"
+            % (report.get("quick"), baseline.get("quick"))
+        )
+        return failures, notes
+
+    if report.get("mismatches"):
+        failures.append(
+            f"engine/oracle mismatches in the report: {report['mismatches']}"
+        )
+
+    current_stats = report.get("engine_statistics") or {}
+    baseline_stats = baseline.get("engine_statistics") or {}
+    for counter in WORK_COUNTERS:
+        before = baseline_stats.get(counter)
+        after = current_stats.get(counter)
+        if not before or after is None:
+            notes.append(f"work counter {counter!r} missing; skipped")
+            continue
+        ratio = after / before
+        line = f"{counter}: {before} -> {after} ({ratio:.2f}x)"
+        if ratio > 1.0 + threshold:
+            failures.append(f"work regression: {line} exceeds +{threshold:.0%}")
+        else:
+            notes.append(line)
+
+    if _machine_signature(report) == _machine_signature(baseline):
+        before = baseline.get("engine_seconds")
+        after = report.get("engine_seconds")
+        if before and after is not None:
+            ratio = after / before
+            line = f"engine_seconds: {before:.3f}s -> {after:.3f}s ({ratio:.2f}x)"
+            if ratio > 1.0 + threshold:
+                failures.append(f"wall-time regression: {line} exceeds +{threshold:.0%}")
+            else:
+                notes.append(line)
+        else:
+            notes.append("engine_seconds missing; wall-time check skipped")
+    else:
+        notes.append(
+            "machine info differs from the baseline "
+            f"({_machine_signature(report)} vs {_machine_signature(baseline)}); "
+            "wall-time check skipped, work counters still gated"
+        )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="fresh BENCH_solver.json to check")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction (default 0.25 = 25%%)",
+    )
+    arguments = parser.parse_args(argv)
+
+    if os.environ.get("PERF_GATE_SKIP", "").strip().lower() in ("1", "true", "yes"):
+        print("perf gate: skipped (PERF_GATE_SKIP set)")
+        return 0
+
+    baseline_path = Path(arguments.baseline)
+    if not baseline_path.exists():
+        # The baseline is committed to the repository; its absence means the
+        # gate has been misconfigured (moved/renamed file) — failing open
+        # here would silently disable regression gating while CI stays green.
+        print(
+            f"perf gate: FAIL — no baseline at {baseline_path}; commit one with "
+            "`python benchmarks/bench_solver.py --quick --output "
+            f"{baseline_path}` or set PERF_GATE_SKIP=1",
+            file=sys.stderr,
+        )
+        return 1
+
+    report = json.loads(Path(arguments.report).read_text())
+    baseline = json.loads(baseline_path.read_text())
+    failures, notes = compare(report, baseline, arguments.threshold)
+    for note in notes:
+        print(f"perf gate: {note}")
+    for failure in failures:
+        print(f"perf gate: FAIL — {failure}", file=sys.stderr)
+    if failures:
+        print(
+            "perf gate: regression detected. If intentional, refresh the baseline "
+            "(benchmarks/perf_gate.py docstring) or apply the 'skip-perf-gate' "
+            "label / PERF_GATE_SKIP=1.",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

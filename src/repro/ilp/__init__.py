@@ -20,6 +20,7 @@ from .engine import (
     EngineStatistics,
     IncrementalIlpEngine,
 )
+from .parallel import IncumbentStore, ParallelBranchAndBound, WorkerPool
 from .problem import (
     ConstraintSense,
     LinearConstraint,
@@ -54,6 +55,9 @@ __all__ = [
     "EngineLimitError",
     "EngineStatistics",
     "IncrementalIlpEngine",
+    "IncumbentStore",
+    "ParallelBranchAndBound",
+    "WorkerPool",
     "IlpSolution",
     "IlpSolver",
 ]

@@ -30,6 +30,14 @@ class MilpResult:
     ``nodes`` counts the branch & bound nodes explored and ``iterations`` the
     LP pivots reported by the relaxation backend; both feed the solver
     statistics surfaced by the scheduler and the pipeline diagnostics.
+
+    The parallel fields mirror the incremental engine's counters so both
+    solver paths report through one shape: ``worker_nodes`` holds per-worker
+    node counts, ``steals``/``prunes`` the work-queue tallies and
+    ``parallel_speedup`` the busy-over-wall ratio of pooled stages.  The
+    dense oracle implemented here is single-threaded, so it reports one
+    worker (``worker_nodes == (nodes,)``), its incumbent-bound prunes, zero
+    steals and a speedup of 1.
     """
 
     status: MilpStatus
@@ -37,6 +45,10 @@ class MilpResult:
     objective: Fraction | None
     nodes: int = 0
     iterations: int = 0
+    worker_nodes: tuple[int, ...] = ()
+    steals: int = 0
+    prunes: int = 0
+    parallel_speedup: float = 1.0
 
 
 class _StandardFormEncoder:
@@ -136,6 +148,7 @@ def solve_milp(
     stack: list[list[tuple[dict[str, Fraction], ConstraintSense, Fraction]]] = [[]]
     nodes = 0
     iterations = 0
+    prunes = 0
     while stack:
         cuts = stack.pop()
         nodes += 1
@@ -154,9 +167,13 @@ def solve_milp(
                 if result.status is not LpStatus.OPTIMAL:
                     continue
             else:
-                return MilpResult(LpStatus.UNBOUNDED, {}, None, nodes, iterations)
+                return MilpResult(
+                    LpStatus.UNBOUNDED, {}, None, nodes, iterations,
+                    worker_nodes=(nodes,), prunes=prunes,
+                )
         relaxation_value = (result.objective or Fraction(0)) + objective_offset
         if best_value is not None and relaxation_value >= best_value - prune_margin:
+            prunes += 1
             continue
         assignment = encoder.decode(result.values)
         fractional = _first_fractional(problem, assignment)
@@ -184,8 +201,14 @@ def solve_milp(
         stack.append(cuts + [({name: Fraction(1)}, ConstraintSense.LE, floor_value)])
 
     if best_assignment is None:
-        return MilpResult(LpStatus.INFEASIBLE, {}, None, nodes, iterations)
-    return MilpResult(LpStatus.OPTIMAL, best_assignment, best_value, nodes, iterations)
+        return MilpResult(
+            LpStatus.INFEASIBLE, {}, None, nodes, iterations,
+            worker_nodes=(nodes,), prunes=prunes,
+        )
+    return MilpResult(
+        LpStatus.OPTIMAL, best_assignment, best_value, nodes, iterations,
+        worker_nodes=(nodes,), prunes=prunes,
+    )
 
 
 def _first_fractional(

@@ -34,7 +34,7 @@ test-suite asserts exactly that.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping, Sequence
 
@@ -75,7 +75,16 @@ class EngineLimitError(EngineError):
 
 @dataclass
 class EngineStatistics:
-    """Counters describing the work performed by one or more engine solves."""
+    """Counters describing the work performed by one or more engine solves.
+
+    The parallel counters (``steals``, ``worker_nodes``, the busy/wall pair)
+    are only advanced by stages that actually reached the worker pool; the
+    remaining counters cover sequential and parallel work alike.  Under
+    thread workers the shared integer counters are advanced without a lock —
+    the GIL makes lost updates rare and the counters are observability, not
+    control flow — while ``worker_nodes``/``steals`` are tallied under the
+    queue lock and stay exact.
+    """
 
     solves: int = 0
     stages: int = 0
@@ -83,10 +92,25 @@ class EngineStatistics:
     phase1_pivots: int = 0
     nodes: int = 0
     warm_start_hits: int = 0
+    bound_prunes: int = 0
+    stale_drops: int = 0
+    incumbent_updates: int = 0
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
+    parallel_stages: int = 0
+    steals: int = 0
+    worker_nodes: list[int] = field(default_factory=list)
+    parallel_wall_seconds: float = 0.0
+    parallel_busy_seconds: float = 0.0
 
-    def as_dict(self) -> dict[str, int | float]:
+    @property
+    def parallel_speedup(self) -> float:
+        """Busy-time over wall-time of the pooled stages (1.0 when none ran)."""
+        if self.parallel_wall_seconds <= 0.0:
+            return 1.0
+        return self.parallel_busy_seconds / self.parallel_wall_seconds
+
+    def as_dict(self) -> dict[str, int | float | list[int]]:
         return {
             "solves": self.solves,
             "stages": self.stages,
@@ -94,8 +118,17 @@ class EngineStatistics:
             "phase1_pivots": self.phase1_pivots,
             "nodes": self.nodes,
             "warm_start_hits": self.warm_start_hits,
+            "bound_prunes": self.bound_prunes,
+            "stale_drops": self.stale_drops,
+            "incumbent_updates": self.incumbent_updates,
             "encode_seconds": self.encode_seconds,
             "solve_seconds": self.solve_seconds,
+            "parallel_stages": self.parallel_stages,
+            "steals": self.steals,
+            "worker_nodes": list(self.worker_nodes),
+            "parallel_wall_seconds": self.parallel_wall_seconds,
+            "parallel_busy_seconds": self.parallel_busy_seconds,
+            "parallel_speedup": self.parallel_speedup,
         }
 
 
@@ -336,6 +369,38 @@ class _IntegerTableau:
         return best
 
 
+class _BranchNode:
+    """One branch & bound work unit: parent tableau plus at most one cut.
+
+    ``path`` is the sequence of branch directions from the stage root
+    (``0`` = floor branch, ``1`` = ceil branch); depth-first preorder visits
+    nodes in lexicographic ``path`` order, which is the total order the
+    deterministic incumbent tie-break is defined against.  ``bound`` carries
+    the parent's LP optimum — a valid lower bound for the whole subtree —
+    so a stale node can be discarded without re-optimising its tableau.
+    """
+
+    __slots__ = ("tableau", "cut", "path", "bound")
+
+    def __init__(
+        self,
+        tableau: _IntegerTableau,
+        cut: tuple[str, ConstraintSense, Fraction] | None,
+        path: tuple[int, ...],
+        bound: Fraction | None,
+    ):
+        self.tableau = tableau
+        self.cut = cut
+        self.path = path
+        self.bound = bound
+
+    def __getstate__(self):
+        return (self.tableau, self.cut, self.path, self.bound)
+
+    def __setstate__(self, state):
+        self.tableau, self.cut, self.path, self.bound = state
+
+
 class IncrementalIlpEngine:
     """Stateful lexicographic MILP engine for one :class:`LinearProblem`.
 
@@ -343,6 +408,14 @@ class IncrementalIlpEngine:
     runs phase 1 once, minimises the problem's objectives lexicographically
     (freezing each optimum as a pair of rows before the next stage) and
     branch-and-bounds integer variables with dual-simplex warm starts.
+
+    ``workers > 1`` dispatches sibling branch & bound subtrees across the
+    given :class:`~repro.ilp.parallel.WorkerPool` (threads; *use_processes*
+    opts into forked workers for CPU-bound corpora).  Results are
+    bit-identical to the sequential engine: workers share the incumbent
+    through an :class:`~repro.ilp.parallel.IncumbentStore` whose tie-break
+    (smallest branch path on equal objective values) is exactly the
+    sequential first-found rule.
     """
 
     def __init__(
@@ -350,10 +423,16 @@ class IncrementalIlpEngine:
         problem: LinearProblem,
         node_limit: int = 20000,
         stats: EngineStatistics | None = None,
+        workers: int = 1,
+        pool=None,
+        use_processes: bool = False,
     ):
         self.problem = problem
         self.node_limit = node_limit
         self.stats = stats if stats is not None else EngineStatistics()
+        self.workers = max(1, int(workers))
+        self.pool = pool
+        self.use_processes = use_processes
 
         started = time.perf_counter()
         # The oracle's encoder defines the shift/split column layout; sharing
@@ -377,6 +456,14 @@ class IncrementalIlpEngine:
         self.stats.encode_seconds += time.perf_counter() - started
 
         self._tableau: _IntegerTableau | None = None
+
+    def __getstate__(self):
+        # Shipped to forked branch & bound workers: the pool holds thread
+        # locks and the children run their buckets sequentially anyway.
+        state = self.__dict__.copy()
+        state["pool"] = None
+        state["workers"] = 1
+        return state
 
     # ------------------------------------------------------------------ #
     # Encoding helpers
@@ -547,6 +634,114 @@ class IncrementalIlpEngine:
     def _decode(self, tableau: _IntegerTableau) -> dict[str, Fraction]:
         return self._encoder.decode(tableau.structural_values(self.n_structural))
 
+    def _process_node(
+        self,
+        node: _BranchNode,
+        store,
+        objective: Mapping[str, Fraction],
+        scale: int,
+        offset: Fraction,
+        feasibility_only: bool,
+    ) -> list[_BranchNode]:
+        """Solve one node against the shared incumbent; return its children.
+
+        The returned children are in exploration order (floor branch first);
+        callers that maintain a LIFO stack must push them reversed.  Safe to
+        call from worker threads: the parent tableau is only read (children
+        pivot on their own copy) and *store* is internally locked.
+        """
+        self.stats.nodes += 1
+        # Stale pre-check: the parent's LP optimum bounds the whole subtree,
+        # so a node that can no longer win is dropped without touching its
+        # tableau (this is what drains a queue of stale siblings cheaply
+        # once an incumbent has proven optimality).
+        if node.bound is not None and store.should_prune(node.bound, node.path):
+            self.stats.stale_drops += 1
+            return []
+        if node.cut is None:
+            tableau = node.tableau
+        else:
+            tableau = node.tableau.copy()
+            name, sense, bound = node.cut
+            coefficients, rhs = self._branching_cut_row(
+                name, sense, bound, tableau.n_columns
+            )
+            tableau.add_le_row(coefficients, rhs)
+            status = tableau.dual_simplex()
+            if status is LpStatus.INFEASIBLE:
+                return []
+            # A child re-optimised to a usable LP optimum purely by dual
+            # pivots from its parent's basis — the warm start paid off.
+            self.stats.warm_start_hits += 1
+        relaxation = tableau.objective_value() / scale + offset
+        if store.should_prune(relaxation, node.path):
+            self.stats.bound_prunes += 1
+            return []
+        assignment = self._decode(tableau)
+        fractional = _first_fractional(self.problem, assignment)
+        if fractional is None:
+            if not self.problem.is_feasible_assignment(assignment):
+                raise EngineError("engine produced an infeasible incumbent")
+            value = _evaluate(objective, assignment)
+            if store.offer(value, node.path, assignment):
+                self.stats.incumbent_updates += 1
+            return []
+        name, value = fractional
+        floor_value = Fraction(value.numerator // value.denominator)
+        return [
+            _BranchNode(
+                tableau, (name, ConstraintSense.LE, floor_value),
+                node.path + (0,), relaxation,
+            ),
+            _BranchNode(
+                tableau, (name, ConstraintSense.GE, floor_value + 1),
+                node.path + (1,), relaxation,
+            ),
+        ]
+
+    def _drain_bounded(
+        self,
+        nodes: Sequence[_BranchNode],
+        store,
+        stage_args: tuple,
+        max_nodes: int,
+    ) -> tuple[int, list[_BranchNode]]:
+        """Depth-first drain of at most *max_nodes* nodes.
+
+        Returns (nodes solved, remaining frontier in lexicographic path
+        order).  *nodes* must be in lexicographic path order too; the drain
+        then visits the forest in preorder, which keeps the feasibility-mode
+        early break sound (everything left on the stack has a larger path
+        than the incumbent, so nothing that could win is skipped).
+        """
+        feasibility_only = stage_args[-1]
+        stack = list(reversed(nodes))
+        count = 0
+        while stack and count < max_nodes:
+            node = stack.pop()
+            count += 1
+            if count > self.node_limit:
+                raise EngineLimitError("branch & bound node limit exceeded")
+            children = self._process_node(node, store, *stage_args)
+            if feasibility_only and store.has_incumbent():
+                return count, []
+            stack.extend(reversed(children))
+        return count, list(reversed(stack))
+
+    def _drain_sequential(
+        self,
+        nodes: Sequence[_BranchNode],
+        store,
+        stage_args: tuple,
+        node_budget: int | None = None,
+    ) -> int:
+        """Drain *nodes* (lexicographic path order) to completion."""
+        budget = self.node_limit if node_budget is None else node_budget
+        count, frontier = self._drain_bounded(nodes, store, stage_args, budget)
+        if frontier:
+            raise EngineLimitError("branch & bound node limit exceeded")
+        return count
+
     def _minimize_stage(
         self,
         root: _IntegerTableau,
@@ -554,58 +749,44 @@ class IncrementalIlpEngine:
         scale: int,
         offset: Fraction,
         feasibility_only: bool,
-    ) -> tuple[LpStatus, dict[str, Fraction] | None, Fraction | None]:
-        """Branch & bound below *root* (already primal-optimal for the stage)."""
-        best_assignment: dict[str, Fraction] | None = None
-        best_value: Fraction | None = None
+    ) -> tuple[
+        LpStatus,
+        dict[str, Fraction] | None,
+        Fraction | None,
+        tuple[int, ...] | None,
+    ]:
+        """Branch & bound below *root* (already primal-optimal for the stage).
 
-        Cut = tuple[str, ConstraintSense, Fraction]
-        stack: list[tuple[_IntegerTableau, Cut | None]] = [(root, None)]
-        nodes = 0
-        while stack:
-            parent, cut = stack.pop()
-            nodes += 1
-            self.stats.nodes += 1
-            if nodes > self.node_limit:
-                raise EngineLimitError("branch & bound node limit exceeded")
-            if cut is None:
-                tableau = parent
-            else:
-                tableau = parent.copy()
-                name, sense, bound = cut
-                coefficients, rhs = self._branching_cut_row(
-                    name, sense, bound, tableau.n_columns
-                )
-                tableau.add_le_row(coefficients, rhs)
-                status = tableau.dual_simplex()
-                if status is LpStatus.INFEASIBLE:
-                    continue
-                # A child re-optimised to a usable LP optimum purely by dual
-                # pivots from its parent's basis — the warm start paid off.
-                self.stats.warm_start_hits += 1
-            relaxation = tableau.objective_value() / scale + offset
-            if best_value is not None and relaxation >= best_value:
-                continue
-            assignment = self._decode(tableau)
-            fractional = _first_fractional(self.problem, assignment)
-            if fractional is None:
-                if not self.problem.is_feasible_assignment(assignment):
-                    raise EngineError("engine produced an infeasible incumbent")
-                value = _evaluate(objective, assignment)
-                if best_value is None or value < best_value:
-                    best_value = value
-                    best_assignment = assignment
-                    if feasibility_only:
-                        break
-                continue
-            name, value = fractional
-            floor_value = Fraction(value.numerator // value.denominator)
-            stack.append((tableau, (name, ConstraintSense.GE, floor_value + 1)))
-            stack.append((tableau, (name, ConstraintSense.LE, floor_value)))
+        Returns (status, assignment, value, branch path of the winner).  With
+        ``workers > 1`` the subtree exploration is dispatched across the
+        worker pool; the deterministic incumbent tie-break guarantees the
+        same return value either way.
+        """
+        from .parallel import IncumbentStore, ParallelBranchAndBound
 
-        if best_assignment is None:
-            return LpStatus.INFEASIBLE, None, None
-        return LpStatus.OPTIMAL, best_assignment, best_value
+        store = IncumbentStore()
+        stage_args = (objective, scale, offset, feasibility_only)
+        root_node = _BranchNode(root, None, (), None)
+        if self.workers > 1 and self.pool is not None:
+            try:
+                ParallelBranchAndBound(
+                    self, self.workers, self.pool, self.use_processes
+                ).minimize(root_node, store, stage_args)
+            except EngineLimitError:
+                # Speculative parallel exploration can overshoot the node
+                # budget (threads prune later than depth-first order;
+                # process children hold per-bucket budgets).  The limit
+                # verdict must not depend on the worker count, so the stage
+                # re-runs sequentially: it raises only if workers=1 would.
+                store = IncumbentStore()
+                self._drain_sequential([root_node], store, stage_args)
+        else:
+            self._drain_sequential([root_node], store, stage_args)
+
+        value, path, assignment = store.best()
+        if assignment is None:
+            return LpStatus.INFEASIBLE, None, None, None
+        return LpStatus.OPTIMAL, assignment, value, path
 
     # ------------------------------------------------------------------ #
     # Public entry point
@@ -636,6 +817,7 @@ class IncrementalIlpEngine:
                 objectives = [{}]
 
             last_assignment: dict[str, Fraction] | None = None
+            last_path: tuple[int, ...] | None = None
             objective_values: list[Fraction] = []
             for stage_index, objective in enumerate(objectives):
                 self.stats.stages += 1
@@ -649,20 +831,21 @@ class IncrementalIlpEngine:
                         "objective is unbounded below; scheduling variables must be bounded"
                     )
                 feasibility_only = not objective
-                status, assignment, value = self._minimize_stage(
+                status, assignment, value, path = self._minimize_stage(
                     tableau, objective, scale, offset, feasibility_only
                 )
                 if status is LpStatus.INFEASIBLE:
                     return None
                 assert assignment is not None and value is not None
                 last_assignment = assignment
+                last_path = path
                 if self.problem.objectives:
                     objective_values.append(value)
                 if stage_index + 1 < len(objectives) and objective:
                     self._freeze_objective(tableau, objective, value)
 
             assert last_assignment is not None
-            return IlpSolution(last_assignment, objective_values)
+            return IlpSolution(last_assignment, objective_values, node_key=last_path)
         finally:
             self.stats.solve_seconds += time.perf_counter() - started
 

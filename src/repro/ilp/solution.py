@@ -15,10 +15,19 @@ __all__ = ["IlpSolution"]
 
 @dataclass(frozen=True)
 class IlpSolution:
-    """A feasible integer assignment plus the per-objective optimal values."""
+    """A feasible integer assignment plus the per-objective optimal values.
+
+    ``node_key`` is the branch & bound path of the winning incumbent in the
+    final lexicographic stage (``0`` = floor branch, ``1`` = ceil branch,
+    ``()`` = the relaxation was already integral).  The incremental engine
+    fills it in; since the parallel tie-break keeps the lexicographically
+    smallest path, equal keys across worker counts are the direct witness
+    that determinism held.  The dense oracle path leaves it ``None``.
+    """
 
     assignment: dict[str, Fraction]
     objective_values: list[Fraction]
+    node_key: tuple[int, ...] | None = None
 
     def value(self, name: str) -> int:
         """Integer value of variable *name* (0 when absent)."""

@@ -22,6 +22,14 @@ Passing an explicit LP ``backend`` forces the oracle path, since backends only
 apply to the cold relaxation solves.  The ``REPRO_ILP_ENGINE`` environment
 variable overrides the default choice process-wide (useful for A/B timing and
 for differential CI runs).
+
+``workers=N`` (or ``REPRO_ILP_WORKERS=N``) turns on the parallel branch &
+bound layer (:mod:`repro.ilp.parallel`): sibling subtrees are dispatched
+across a worker pool that lives as long as the solver — one pool serves every
+scheduling dimension of a run — while a shared, deterministically tie-broken
+incumbent keeps the results bit-identical to ``workers=1``.
+``processes=True`` (or ``REPRO_ILP_PROCESSES=1``) opts the pool into forked
+workers for CPU-bound corpora where the GIL serialises thread workers.
 """
 
 from __future__ import annotations
@@ -57,10 +65,41 @@ def _default_engine() -> str:
     return choice
 
 
+def _default_workers() -> int:
+    raw = os.environ.get("REPRO_ILP_WORKERS", "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError as error:
+        raise ValueError(
+            f"REPRO_ILP_WORKERS={raw!r} is not an integer worker count"
+        ) from error
+    if workers < 1:
+        raise ValueError(f"REPRO_ILP_WORKERS={workers} must be >= 1")
+    return workers
+
+
+def _default_processes() -> bool:
+    return os.environ.get("REPRO_ILP_PROCESSES", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
 class IlpSolver:
     """Solve :class:`LinearProblem` instances with lexicographic objectives."""
 
-    def __init__(self, node_limit: int = 20000, backend=None, engine: str | None = None):
+    def __init__(
+        self,
+        node_limit: int = 20000,
+        backend=None,
+        engine: str | None = None,
+        workers: int | None = None,
+        processes: bool | None = None,
+    ):
         self.node_limit = node_limit
         self.backend = backend
         if engine is None:
@@ -73,12 +112,33 @@ class IlpSolver:
                 "drop the backend or pass engine='oracle'"
             )
         self.engine = engine
+        self.workers = max(1, int(workers)) if workers is not None else _default_workers()
+        self.processes = bool(processes) if processes is not None else _default_processes()
+        self._pool = None
         self.solve_count = 0
         self.oracle_solve_count = 0
         self.engine_fallbacks = 0
         self.oracle_nodes = 0
         self.oracle_iterations = 0
         self.statistics = EngineStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Worker pool (shared across every solve of this solver's lifetime)
+    # ------------------------------------------------------------------ #
+    @property
+    def pool(self):
+        """The run-wide worker pool (``None`` while ``workers == 1``)."""
+        if self.workers > 1 and self._pool is None:
+            from .parallel import WorkerPool
+
+            self._pool = WorkerPool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the solver stays usable)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     # ------------------------------------------------------------------ #
     # Entry points
@@ -88,7 +148,12 @@ class IlpSolver:
         if self.engine == "incremental":
             try:
                 engine = IncrementalIlpEngine(
-                    problem, self.node_limit, stats=self.statistics
+                    problem,
+                    self.node_limit,
+                    stats=self.statistics,
+                    workers=self.workers,
+                    pool=self.pool,
+                    use_processes=self.processes,
                 )
                 solution = engine.solve()
                 self.solve_count += 1
@@ -115,6 +180,8 @@ class IlpSolver:
         summary["oracle_nodes"] = self.oracle_nodes
         summary["oracle_iterations"] = self.oracle_iterations
         summary["engine_fallbacks"] = self.engine_fallbacks
+        summary["workers"] = self.workers
+        summary["worker_mode"] = "process" if self.processes else "thread"
         return summary
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,7 @@ caches.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -117,14 +118,23 @@ class Session:
         machine: MachineModel | str | None = None,
         parameter_values: Mapping[str, int] | None = None,
         label: str | None = None,
+        solver_workers: int | None = None,
     ) -> CompilationResult:
         """Run the full pipeline on (*scop*, *config*) and return the result.
 
         Results are memoised: a second compile of the same SCoP with an
         equivalent configuration (same serialised content, same machine, same
         parameter values) returns the cached :class:`CompilationResult`.
+
+        ``solver_workers`` overrides the configuration's parallel branch &
+        bound worker count for this compile (any value returns bit-identical
+        schedules; the knob only changes how the solver explores).  It enters
+        the configuration — and therefore the result cache key — so compiles
+        under different worker counts are cached independently.
         """
         config = config if config is not None else pluto_style()
+        if solver_workers is not None and config.solver_workers != solver_workers:
+            config = dataclasses.replace(config, solver_workers=solver_workers)
         machine = self._resolve_machine(machine)
         label = label or config.name
         key = self._result_key(scop, config, machine, parameter_values)
@@ -387,19 +397,24 @@ def compile(
     machine: MachineModel | str | None = None,
     parameter_values: Mapping[str, int] | None = None,
     label: str | None = None,
+    solver_workers: int | None = None,
 ) -> CompilationResult:
     """One-shot compilation through the shared default session.
 
     Runs dependence analysis, scheduling, post-processing, the legality
     check, code generation and (when *machine* is given) cycle estimation,
-    returning a structured :class:`CompilationResult`.
+    returning a structured :class:`CompilationResult`.  ``solver_workers=N``
+    solves the scheduling ILPs with N parallel branch & bound workers
+    (bit-identical schedules, see ``repro.ilp.parallel``).
 
     The shared session memoises every result for the lifetime of the
     process; long-running callers compiling many distinct kernels should
     either use their own :class:`Session` or periodically call
     ``default_session().clear()`` / :func:`reset_default_session`.
     """
-    return default_session().compile(scop, config, machine, parameter_values, label)
+    return default_session().compile(
+        scop, config, machine, parameter_values, label, solver_workers
+    )
 
 
 def compile_many(

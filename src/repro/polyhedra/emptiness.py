@@ -55,7 +55,10 @@ def find_integer_point(polyhedron: Polyhedron) -> dict[str, int] | None:
     # A fresh solver per probe: construction is a handful of counters, and it
     # keeps concurrent dependence-analysis workers from racing on shared
     # statistics (and honours REPRO_ILP_ENGINE at call time, not import time).
-    solution = IlpSolver().solve(problem)
+    # workers=1 pins the probe to the sequential path: these feasibility
+    # trees are tiny, and a throwaway solver must not spin up a worker pool
+    # per probe under a REPRO_ILP_WORKERS default.
+    solution = IlpSolver(workers=1).solve(problem)
     if solution is None:
         return None
     return {name: int(value) for name, value in solution.assignment.items()}

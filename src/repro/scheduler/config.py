@@ -9,7 +9,8 @@ reconfigurable (Section III of the paper):
   and auto-vectorisation;
 * **options** — coefficient bounds, negative coefficients (Pluto+ mode),
   the default dimensionality-based fusion heuristic, tile sizes for the
-  post-processing.
+  post-processing, and the solver's parallel branch & bound knobs
+  (``solver_workers`` / ``solver_processes``).
 
 Configurations can be written as JSON documents (Listing 2 of the paper) or
 built programmatically.  The dynamic "C++ interface" of the paper is modelled
@@ -127,6 +128,15 @@ class SchedulerConfig:
     dimensionality_fusion_heuristic: bool = True
     strategy_callback: StrategyCallback | None = None
     tile_sizes: tuple[int, ...] = ()
+    #: Branch & bound workers for the scheduling ILPs (``None`` = solver
+    #: default, i.e. ``REPRO_ILP_WORKERS`` or sequential).  Any worker count
+    #: produces bit-identical schedules; see ``repro.ilp.parallel``.
+    solver_workers: int | None = None
+    #: Opt the worker pool into forked processes (CPU-bound corpora where
+    #: the GIL serialises thread workers).  Tri-state: ``None`` defers to the
+    #: solver default (``REPRO_ILP_PROCESSES``), an explicit ``False`` forces
+    #: threads even when the environment says processes.
+    solver_processes: bool | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors used by the scheduling loop
@@ -231,6 +241,10 @@ class SchedulerConfig:
             options.get("dimensionality_fusion_heuristic", config.dimensionality_fusion_heuristic)
         )
         config.tile_sizes = tuple(int(size) for size in options.get("tile_sizes", ()))
+        workers = options.get("solver_workers")
+        config.solver_workers = int(workers) if workers is not None else None
+        processes = options.get("solver_processes")
+        config.solver_processes = bool(processes) if processes is not None else None
         return config
 
     def to_json(self) -> str:
@@ -274,6 +288,8 @@ class SchedulerConfig:
                     "constant_bound": self.constant_bound,
                     "dimensionality_fusion_heuristic": self.dimensionality_fusion_heuristic,
                     "tile_sizes": list(self.tile_sizes),
+                    "solver_workers": self.solver_workers,
+                    "solver_processes": self.solver_processes,
                 },
             }
         }

@@ -108,10 +108,14 @@ class PolyTOPSScheduler:
         )
         self.statements = list(scop.statements)
         self._by_name = {statement.name: statement for statement in self.statements}
-        # One solver context per run: it owns the ILP solver, the cached
-        # legality/cost row blocks and the stable dependence indices shared by
-        # every scheduling dimension.
-        self.solver_context = SolverContext(dependences=self.dependences)
+        # One solver context per run: it owns the ILP solver, the run-wide
+        # branch & bound worker pool, the cached legality/cost row blocks and
+        # the stable dependence indices shared by every scheduling dimension.
+        self.solver_context = SolverContext(
+            dependences=self.dependences,
+            workers=self.config.solver_workers,
+            processes=self.config.solver_processes,
+        )
         self.solver = self.solver_context.solver
 
     # ------------------------------------------------------------------ #
@@ -121,7 +125,14 @@ class PolyTOPSScheduler:
         """Run Algorithm 1 and return the resulting schedule."""
         if not self.statements:
             return SchedulingResult(Schedule(), [], {}, False, {})
+        try:
+            return self._schedule()
+        finally:
+            # Release the run's branch & bound worker pool (lazily recreated
+            # if the same scheduler instance is asked to schedule again).
+            self.solver_context.close()
 
+    def _schedule(self) -> SchedulingResult:
         progression = ProgressionState(self.statements)
         directives = DirectiveManager(self.config, self.statements)
         fusion = FusionController(self.config, self.statements)

@@ -7,7 +7,9 @@ dimension.  :class:`SolverContext` is the object that survives across those
 solves.  It owns
 
 * the :class:`~repro.ilp.solver.IlpSolver` (and therefore the incremental
-  engine's aggregated statistics),
+  engine's aggregated statistics **and** the run-wide branch & bound worker
+  pool: ``workers=N`` spins the pool up once and every scheduling dimension
+  reuses it),
 * the cached constraint-row blocks, keyed per family ("legality",
   "proximity", ...) by a **stable dependence index** — the context interns
   every dependence it sees and holds a strong reference, so the index can
@@ -39,8 +41,12 @@ class SolverContext:
         node_limit: int = 20000,
         engine: str | None = None,
         dependences: tuple[Dependence, ...] | list[Dependence] = (),
+        workers: int | None = None,
+        processes: bool | None = None,
     ):
-        self.solver = IlpSolver(node_limit=node_limit, engine=engine)
+        self.solver = IlpSolver(
+            node_limit=node_limit, engine=engine, workers=workers, processes=processes
+        )
         self.row_caches: dict[str, dict[int, list[IlpRow]]] = {}
         self._dependence_index: dict[int, int] = {}
         self._dependences: list[Dependence] = []
@@ -91,3 +97,7 @@ class SolverContext:
         summary = self.solver.statistics_summary()
         summary["solve_calls"] = self.solve_calls
         return summary
+
+    def close(self) -> None:
+        """Release the run's worker pool (no-op for sequential runs)."""
+        self.solver.close()
