@@ -14,6 +14,13 @@ The corpus mixes synthetic scheduler-shaped MILPs (bounded integer variables,
 mixed-sense rows, one or two lexicographic objectives) with the *real*
 per-dimension problems of a few PolyBench kernels, captured by running the
 PolyTOPS scheduler with an instrumented solver.
+
+The emitted ``engine_statistics`` include the bounded-variable simplex
+counters — ``tableau_rows`` (total root tableau height built),
+``bound_flips`` and ``rows_saved`` — which ``benchmarks/perf_gate.py`` gates
+against the committed baseline: a change that re-materialises variable
+bounds as explicit rows shows up as a ``tableau_rows`` regression even when
+wall time is too noisy to notice.
 """
 
 from __future__ import annotations

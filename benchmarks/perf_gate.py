@@ -40,7 +40,11 @@ from pathlib import Path
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "solver_baseline.json"
 
 #: Metrics that are deterministic for a fixed corpus (machine-independent).
-WORK_COUNTERS = ("pivots", "nodes")
+#: ``tableau_rows`` is the total root-tableau height the engine built: a
+#: regression there means variable bounds are being materialised as explicit
+#: rows again instead of living in the bounded-variable simplex's column
+#: boxes — exactly the kind of silent slowdown wall-time noise would hide.
+WORK_COUNTERS = ("pivots", "nodes", "tableau_rows")
 
 
 def _machine_signature(report: dict) -> tuple:

@@ -37,7 +37,11 @@ class MilpResult:
     ``parallel_speedup`` the busy-over-wall ratio of pooled stages.  The
     dense oracle implemented here is single-threaded, so it reports one
     worker (``worker_nodes == (nodes,)``), its incumbent-bound prunes, zero
-    steals and a speedup of 1.
+    steals and a speedup of 1.  ``bound_flips``/``rows_saved`` mirror the
+    bounded-variable simplex counters: the oracle materialises every bound
+    as an explicit row and re-encodes cuts per node, so it always reports 0
+    for both — the gap against the engine's numbers *is* the tableau-height
+    saving.
     """
 
     status: MilpStatus
@@ -49,6 +53,8 @@ class MilpResult:
     steals: int = 0
     prunes: int = 0
     parallel_speedup: float = 1.0
+    bound_flips: int = 0
+    rows_saved: int = 0
 
 
 class _StandardFormEncoder:
@@ -59,7 +65,12 @@ class _StandardFormEncoder:
 
     * lower-bounded variables ``v >= L`` become ``v = L + v_plus``;
     * free variables become ``v = v_plus - v_minus``;
-    * upper bounds are emitted as explicit rows.
+    * upper bounds are emitted as explicit rows (the incremental engine
+      replaces these rows with implicit column boxes).
+
+    Bounds go through :meth:`Variable.normalized_bounds` — the one place
+    boxes are normalised — so an integer variable with fractional bounds is
+    encoded over its integral hull by the oracle and the engine alike.
     """
 
     def __init__(self, problem: LinearProblem):
@@ -67,16 +78,19 @@ class _StandardFormEncoder:
         self.column_of: dict[str, int] = {}
         self.negative_column_of: dict[str, int] = {}
         self.shift_of: dict[str, Fraction] = {}
+        self.box_of: dict[str, tuple[Fraction | None, Fraction | None]] = {}
         n_columns = 0
         for name, variable in problem.variables.items():
+            lower, upper = variable.normalized_bounds()
+            self.box_of[name] = (lower, upper)
             self.column_of[name] = n_columns
             n_columns += 1
-            if variable.lower is None:
+            if lower is None:
                 self.negative_column_of[name] = n_columns
                 n_columns += 1
                 self.shift_of[name] = Fraction(0)
             else:
-                self.shift_of[name] = variable.lower
+                self.shift_of[name] = lower
         self.n_columns = n_columns
 
     def encode_terms(self, coefficients: Mapping[str, Fraction]) -> tuple[list[Fraction], Fraction]:
@@ -98,11 +112,12 @@ class _StandardFormEncoder:
         for constraint in self.problem.constraints:
             coeffs, offset = self.encode_terms(constraint.coefficients)
             rows.append(StandardFormRow.build(coeffs, constraint.sense, constraint.rhs - offset))
-        for name, variable in self.problem.variables.items():
-            if variable.upper is not None:
+        for name in self.problem.variables:
+            upper = self.box_of[name][1]
+            if upper is not None:
                 coeffs, offset = self.encode_terms({name: Fraction(1)})
                 rows.append(
-                    StandardFormRow.build(coeffs, ConstraintSense.LE, variable.upper - offset)
+                    StandardFormRow.build(coeffs, ConstraintSense.LE, upper - offset)
                 )
         for coefficients, sense, rhs in extra:
             coeffs, offset = self.encode_terms(coefficients)

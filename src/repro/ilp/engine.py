@@ -16,11 +16,19 @@ bound.  This engine exploits that structure:
   ``den * B^{-1}A`` for the current basis ``B`` with ``den = |det B|``, so a
   pivot is integer multiply/subtract with one exact division (fraction-free
   pivoting à la Edmonds/Bareiss) instead of Fraction normalisation per cell;
+* variable boxes are handled by the **bounded-variable simplex**: a column
+  with an integral ``[lower, upper]`` box never materialises an upper-bound
+  row.  Each column carries its residual span; the ratio tests let a basic
+  variable leave at either bound and let the entering variable stop at its
+  own opposite bound (a *bound flip* — no pivot at all).  Nonbasic-at-upper
+  columns are kept complemented (``y = span - y``), so the fraction-free
+  pivot kernel itself is unchanged;
 * phase 1 runs once per problem.  Lexicographic objective stages re-use the
   optimal basis of the previous stage (primal reoptimisation), and B&B
-  children append their branching cut to a copy of the parent's optimal
-  tableau and reoptimise with the **dual simplex** — a warm start that almost
-  always needs a handful of pivots;
+  children **tighten one column's bound** on a copy of the parent's optimal
+  tableau (no cut row is appended for boxed variables) and reoptimise with
+  the **dual simplex** — a warm start that almost always needs a handful of
+  pivots;
 * every integer incumbent is verified exactly against the original problem, so
   an engine inconsistency raises :class:`EngineError` (callers fall back to
   the retained dense oracle) instead of accepting a wrong answer.
@@ -95,6 +103,9 @@ class EngineStatistics:
     bound_prunes: int = 0
     stale_drops: int = 0
     incumbent_updates: int = 0
+    bound_flips: int = 0
+    rows_saved: int = 0
+    tableau_rows: int = 0
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
     parallel_stages: int = 0
@@ -121,6 +132,9 @@ class EngineStatistics:
             "bound_prunes": self.bound_prunes,
             "stale_drops": self.stale_drops,
             "incumbent_updates": self.incumbent_updates,
+            "bound_flips": self.bound_flips,
+            "rows_saved": self.rows_saved,
+            "tableau_rows": self.tableau_rows,
             "encode_seconds": self.encode_seconds,
             "solve_seconds": self.solve_seconds,
             "parallel_stages": self.parallel_stages,
@@ -133,15 +147,47 @@ class EngineStatistics:
 
 
 class _IntegerTableau:
-    """Dense simplex tableau scaled to integers by ``den = |det(basis)|``.
+    """Dense bounded-variable simplex tableau, scaled to integers.
 
-    ``rows[i]`` holds ``den * (B^{-1}A)_i`` followed by ``den * (B^{-1}b)_i``;
-    ``objective`` holds ``den * reduced_costs`` followed by ``-den * value``.
-    All entries stay integral for an integer constraint matrix because
-    ``den * B^{-1}`` is the (sign-adjusted) adjugate of ``B``.
+    ``rows[i]`` holds ``den * (B^{-1}A)_i`` followed by ``den * (B^{-1}b)_i``
+    with ``den = |det(basis)|``; ``objective`` holds ``den * reduced_costs``
+    followed by ``-den * value``.  All entries stay integral for an integer
+    constraint matrix because ``den * B^{-1}`` is the (sign-adjusted)
+    adjugate of ``B``.
+
+    Variable boxes are implicit (no upper-bound rows).  Tableau column ``j``
+    is a *working variable* ``y_j`` with ``0 <= y_j <= spans[j]`` (``None``
+    means unbounded above); it maps to the standard-form variable through
+    ``v_j = bases[j] + signs[j] * y_j``.  Nonbasic columns always sit at
+    ``y = 0``, so a nonbasic-at-upper variable is represented *complemented*
+    (``signs[j] == -1``, ``bases[j] == its upper bound``) and the pivot
+    kernel never needs to know about bounds.  Bound handling lives in three
+    places instead:
+
+    * the primal ratio test also considers a basic variable rising to its
+      span (it then leaves at the upper bound: the column is complemented
+      before the pivot) and the entering variable reaching its own span (a
+      *bound flip*: the column is complemented with no pivot at all);
+    * the dual leaving test also treats ``rhs > den * span`` as a violation
+      (complemented away before the usual ``rhs < 0`` machinery runs);
+    * branching tightens a column's box in place (:meth:`tighten_column`)
+      instead of appending a cut row.
+
+    All box data is integral (the encoder only assigns a span when the box
+    width is an integer), so every update below stays in integer arithmetic.
     """
 
-    __slots__ = ("rows", "basis", "den", "objective", "n_columns", "stats")
+    __slots__ = (
+        "rows",
+        "basis",
+        "den",
+        "objective",
+        "n_columns",
+        "stats",
+        "spans",
+        "bases",
+        "signs",
+    )
 
     def __init__(
         self,
@@ -149,6 +195,7 @@ class _IntegerTableau:
         basis: list[int],
         n_columns: int,
         stats: EngineStatistics,
+        spans: list[int | None] | None = None,
     ):
         self.rows = rows
         self.basis = basis
@@ -156,6 +203,11 @@ class _IntegerTableau:
         self.n_columns = n_columns
         self.objective: list[int] = [0] * (n_columns + 1)
         self.stats = stats
+        if spans is None:
+            spans = [None] * n_columns
+        self.spans: list[int | None] = spans
+        self.bases: list[int] = [0] * n_columns
+        self.signs: list[int] = [1] * n_columns
 
     def copy(self) -> "_IntegerTableau":
         clone = _IntegerTableau.__new__(_IntegerTableau)
@@ -165,7 +217,103 @@ class _IntegerTableau:
         clone.objective = list(self.objective)
         clone.n_columns = self.n_columns
         clone.stats = self.stats
+        clone.spans = list(self.spans)
+        clone.bases = list(self.bases)
+        clone.signs = list(self.signs)
         return clone
+
+    # ------------------------------------------------------------------ #
+    # Column complementation (the bounded-variable substitutions)
+    # ------------------------------------------------------------------ #
+    def _flip_nonbasic(self, column: int) -> None:
+        """Complement a *nonbasic* column: the variable jumps to its other bound.
+
+        Substituting ``y = span - y'`` negates the column everywhere and
+        folds ``span`` into the right-hand sides; the new working variable
+        sits at 0, i.e. the original variable now rests at the opposite
+        bound.  This is the ``t* = span`` outcome of the ratio test — an
+        improving step that needs no pivot.
+        """
+        span = self.spans[column]
+        assert span is not None
+        for row in self.rows:
+            coeff = row[column]
+            if coeff:
+                row[-1] -= coeff * span
+                row[column] = -coeff
+        objective = self.objective
+        coeff = objective[column]
+        if coeff:
+            objective[-1] -= coeff * span
+            objective[column] = -coeff
+        self.bases[column] += self.signs[column] * span
+        self.signs[column] = -self.signs[column]
+        self.stats.bound_flips += 1
+
+    def _complement_basic(self, row_index: int) -> None:
+        """Complement the *basic* column of one row (leave-at-upper prep).
+
+        The same ``y = span - y'`` substitution followed by a sign
+        normalisation of the row, so the basic coefficient stays ``+den``:
+        the stored right-hand side becomes ``den*span - rhs`` (negative when
+        the basic value exceeded its span) and every other coefficient of
+        the row is negated.  The objective row is untouched — the basic
+        column's reduced cost is zero and the current point does not move.
+        """
+        column = self.basis[row_index]
+        span = self.spans[column]
+        assert span is not None
+        row = self.rows[row_index]
+        rhs = row[-1]
+        self.rows[row_index] = [-value for value in row]
+        row = self.rows[row_index]
+        row[column] = self.den
+        row[-1] = self.den * span - rhs
+        self.bases[column] += self.signs[column] * span
+        self.signs[column] = -self.signs[column]
+
+    def tighten_column(self, column: int, sense: ConstraintSense, bound: int) -> bool:
+        """Tighten one column's box in the standard-form variable space.
+
+        ``bound`` is an integer bound on the standard-form variable ``v``:
+        ``v <= bound`` (LE) or ``v >= bound`` (GE).  Returns ``False`` when
+        the tightened box is empty (the subproblem is infeasible before any
+        pivoting).  A binding tightening on the column's *origin* side
+        shifts the working variable, which perturbs the right-hand sides —
+        the caller restores feasibility with :meth:`dual_simplex`, exactly
+        like after an appended cut row (but with no row growth).
+        """
+        sign = self.signs[column]
+        base = self.bases[column]
+        span = self.spans[column]
+        # In working coordinates v = base + sign*y, so a bound on v is either
+        # a cap on y (same side as the origin's opposite bound) or a raise of
+        # the origin itself (handled by shifting y).
+        if (sense is ConstraintSense.LE) == (sign > 0):
+            # Caps y from above: y <= limit.
+            limit = (bound - base) if sign > 0 else (base - bound)
+            if limit < 0:
+                return False
+            if span is None or limit < span:
+                self.spans[column] = limit
+            return True
+        # Raises the origin: y >= shift, i.e. substitute y = shift + y'.
+        shift = (bound - base) if sign > 0 else (base - bound)
+        if shift <= 0:
+            return True
+        if span is not None:
+            if shift > span:
+                return False
+            self.spans[column] = span - shift
+        for row in self.rows:
+            coeff = row[column]
+            if coeff:
+                row[-1] -= coeff * shift
+        weight = self.objective[column]
+        if weight:
+            self.objective[-1] -= weight * shift
+        self.bases[column] = base + sign * shift
+        return True
 
     # ------------------------------------------------------------------ #
     # Core pivoting
@@ -207,10 +355,25 @@ class _IntegerTableau:
     # Objective installation / readout
     # ------------------------------------------------------------------ #
     def set_objective(self, costs: Sequence[int]) -> None:
-        """Install integer costs priced out for the basis (zero-padded on the right)."""
+        """Install integer costs (standard-form space) priced out for the basis.
+
+        Costs arrive over the standard-form variables ``v``; they are
+        translated to the working variables (``v = base + sign*y``), which
+        negates complemented columns and folds the ``base`` offsets into the
+        constant cell so :meth:`objective_value` keeps reporting the
+        standard-form objective value.
+        """
         den = self.den
         costs = list(costs) + [0] * (self.n_columns - len(costs))
-        objective = [c * den for c in costs] + [0]
+        constant = 0
+        signs = self.signs
+        bases = self.bases
+        for column, cost in enumerate(costs):
+            if cost:
+                constant += cost * bases[column]
+                if signs[column] < 0:
+                    costs[column] = -cost
+        objective = [c * den for c in costs] + [-constant * den]
         for row_index, basic in enumerate(self.basis):
             weight = costs[basic]
             if weight:
@@ -222,25 +385,36 @@ class _IntegerTableau:
         return Fraction(-self.objective[-1], self.den)
 
     def structural_values(self, n_structural: int) -> list[Fraction]:
-        values = [Fraction(0)] * n_structural
+        values = [Fraction(base) for base in self.bases[:n_structural]]
         den = self.den
         for row_index, basic in enumerate(self.basis):
             if basic < n_structural:
-                values[basic] = Fraction(self.rows[row_index][-1], den)
+                values[basic] += Fraction(
+                    self.signs[basic] * self.rows[row_index][-1], den
+                )
         return values
 
     # ------------------------------------------------------------------ #
     # Row addition (warm path)
     # ------------------------------------------------------------------ #
     def add_le_row(self, coefficients: Sequence[int], rhs: int) -> None:
-        """Append ``coefficients . x <= rhs`` (integer data) with a fresh slack.
+        """Append ``coefficients . v <= rhs`` (integer data) with a fresh slack.
 
-        The new row is priced out against the current basis; the slack enters
-        the basis, possibly with a negative value — the caller is expected to
-        restore feasibility with :meth:`dual_simplex`.
+        Coefficients are over the standard-form variables and are translated
+        to the working coordinates of each column.  The new row is priced
+        out against the current basis; the slack enters the basis, possibly
+        with a negative value — the caller is expected to restore
+        feasibility with :meth:`dual_simplex`.
         """
         den = self.den
         coefficients = list(coefficients) + [0] * (self.n_columns - len(coefficients))
+        signs = self.signs
+        bases = self.bases
+        for column, value in enumerate(coefficients):
+            if value:
+                rhs -= value * bases[column]
+                if signs[column] < 0:
+                    coefficients[column] = -value
         new_row = [value * den for value in coefficients]
         new_row.append(rhs * den)
         for row_index, basic in enumerate(self.basis):
@@ -255,6 +429,9 @@ class _IntegerTableau:
         new_row.insert(-1, den)
         self.rows.append(new_row)
         self.basis.append(slack_column)
+        self.spans.append(None)
+        self.bases.append(0)
+        self.signs.append(1)
         self.n_columns += 1
 
     # ------------------------------------------------------------------ #
@@ -270,16 +447,29 @@ class _IntegerTableau:
             entering = self._entering_primal(use_bland)
             if entering is None:
                 return LpStatus.OPTIMAL
-            leaving = self._leaving_primal(entering, use_bland)
-            if leaving is None:
+            step = self._leaving_primal(entering, use_bland)
+            if step is None:
                 return LpStatus.UNBOUNDED
+            leaving, at_upper = step
+            if leaving is None:
+                # The entering variable reaches its own opposite bound before
+                # any basic variable blocks: complement it and move on — an
+                # improving step with no pivot at all.
+                self._flip_nonbasic(entering)
+                continue
+            if at_upper:
+                # The blocking basic variable leaves at its *upper* bound.
+                self._complement_basic(leaving)
             self.pivot(leaving, entering)
 
     def _entering_primal(self, use_bland: bool) -> int | None:
         objective = self.objective
+        spans = self.spans
         best: int | None = None
         best_value = 0
         for column in range(self.n_columns):
+            if spans[column] == 0:
+                continue  # fixed variable: can never move off its bound
             reduced = objective[column]
             if reduced < 0:
                 if use_bland:
@@ -289,38 +479,77 @@ class _IntegerTableau:
                     best_value = reduced
         return best
 
-    def _leaving_primal(self, entering: int, use_bland: bool) -> int | None:
-        # Minimum ratio rhs_i / a_ie over a_ie > 0, compared by cross
-        # multiplication (both scaled by the same positive den).
+    def _leaving_primal(
+        self, entering: int, use_bland: bool
+    ) -> tuple[int | None, bool] | None:
+        """Bounded ratio test for the entering column.
+
+        Returns ``None`` when the step is unbounded, ``(None, False)`` when
+        the entering variable's own span is the strict minimum (bound flip),
+        or ``(row, at_upper)`` for the blocking row — ``at_upper`` marking a
+        basic variable that leaves at its span rather than at zero.  Ratios
+        are compared by cross multiplication (every candidate is a
+        non-negative numerator over a positive denominator, all scaled by
+        the same positive ``den``).
+        """
+        den = self.den
+        spans = self.spans
+        basis = self.basis
         best_row: int | None = None
-        best_rhs = 0
-        best_coeff = 1
+        best_upper = False
+        best_num = 0
+        best_den = 1
         for row_index, row in enumerate(self.rows):
             coeff = row[entering]
-            if coeff <= 0:
+            if coeff > 0:
+                num = row[-1]
+                upper = False
+            elif coeff < 0:
+                span = spans[basis[row_index]]
+                if span is None:
+                    continue
+                num = den * span - row[-1]
+                coeff = -coeff
+                upper = True
+            else:
                 continue
-            rhs = row[-1]
             if best_row is None:
-                best_row, best_rhs, best_coeff = row_index, rhs, coeff
+                best_row, best_num, best_den, best_upper = (
+                    row_index, num, coeff, upper,
+                )
                 continue
-            left = rhs * best_coeff
-            right = best_rhs * coeff
+            left = num * best_den
+            right = best_num * coeff
             if left < right or (
                 left == right
                 and use_bland
-                and self.basis[row_index] < self.basis[best_row]
+                and basis[row_index] < basis[best_row]
             ):
-                best_row, best_rhs, best_coeff = row_index, rhs, coeff
-        return best_row
+                best_row, best_num, best_den, best_upper = (
+                    row_index, num, coeff, upper,
+                )
+        # A row ratio num/coeff is the step in variable units (the den
+        # scaling of num and coeff cancels), so the entering variable's own
+        # span compares against it directly.
+        own_span = spans[entering]
+        if own_span is not None and (
+            best_row is None or own_span * best_den < best_num
+        ):
+            return None, False
+        if best_row is None:
+            return None
+        return best_row, best_upper
 
     # ------------------------------------------------------------------ #
-    # Dual simplex (used after adding rows to an optimal tableau)
+    # Dual simplex (used after tightening bounds / adding rows)
     # ------------------------------------------------------------------ #
     def dual_simplex(self) -> LpStatus:
         """Restore primal feasibility, keeping the objective row dual-feasible.
 
-        Returns OPTIMAL when all right-hand sides are non-negative again and
-        INFEASIBLE when a negative row admits no entering column.
+        Returns OPTIMAL when every basic value is back inside its box and
+        INFEASIBLE when a violated row admits no entering column.  A basic
+        value *above its span* is complemented first, which turns it into
+        the classic below-zero case.
         """
         iterations = 0
         while True:
@@ -331,37 +560,50 @@ class _IntegerTableau:
             leaving = self._leaving_dual(use_bland)
             if leaving is None:
                 return LpStatus.OPTIMAL
+            if self.rows[leaving][-1] > 0:
+                # Above-upper violation: complement so it reads as rhs < 0.
+                self._complement_basic(leaving)
             entering = self._entering_dual(leaving)
             if entering is None:
                 return LpStatus.INFEASIBLE
             self.pivot(leaving, entering)
 
     def _leaving_dual(self, use_bland: bool) -> int | None:
+        den = self.den
+        spans = self.spans
+        basis = self.basis
         best_row: int | None = None
-        best_rhs = 0
+        best_violation = 0
         for row_index, row in enumerate(self.rows):
             rhs = row[-1]
-            if rhs >= 0:
-                continue
+            if rhs < 0:
+                violation = -rhs
+            else:
+                span = spans[basis[row_index]]
+                if span is None or rhs <= den * span:
+                    continue
+                violation = rhs - den * span
             if use_bland:
-                if best_row is None or self.basis[row_index] < self.basis[best_row]:
+                if best_row is None or basis[row_index] < basis[best_row]:
                     best_row = row_index
-            elif rhs < best_rhs:
+            elif violation > best_violation:
                 best_row = row_index
-                best_rhs = rhs
+                best_violation = violation
         return best_row
 
     def _entering_dual(self, leaving: int) -> int | None:
         # Minimum ratio z_j / (-a_lj) over a_lj < 0, smallest column on ties
         # (a deterministic Bland-style tie-break that prevents cycling).
+        # Fixed columns (span 0) are barred: they cannot leave their bound.
         row = self.rows[leaving]
         objective = self.objective
+        spans = self.spans
         best: int | None = None
         best_z = 0
         best_coeff = -1
         for column in range(self.n_columns):
             coeff = row[column]
-            if coeff >= 0:
+            if coeff >= 0 or spans[column] == 0:
                 continue
             z = objective[column]
             if best is None or z * (-best_coeff) < best_z * (-coeff):
@@ -438,21 +680,37 @@ class IncrementalIlpEngine:
         # The oracle's encoder defines the shift/split column layout; sharing
         # it keeps the engine's variable handling in lockstep with the dense
         # path it is differentially validated against.  The engine only adds
-        # integer normalisation on top.
+        # integer normalisation and implicit boxes on top.
         self._encoder = _StandardFormEncoder(problem)
         self.n_structural = self._encoder.n_columns
 
-        # Base rows: problem constraints then upper bounds, integer-normalised.
+        # Implicit boxes: a shifted column whose [0, upper - lower] width is
+        # an integer gets a span instead of an explicit LE row.  Split (free)
+        # variables and fractional-width boxes keep the row encoding — a
+        # bound over x = x+ - x- is not a column box.
+        self._column_spans: list[int | None] = [None] * self.n_structural
+        explicit_upper: list[tuple[str, Fraction]] = []
+        for name in problem.variables:
+            lower, upper = self._encoder.box_of[name]
+            if upper is None:
+                continue
+            if lower is not None and name not in self._encoder.negative_column_of:
+                width = upper - lower
+                if width.denominator == 1 and width >= 0:
+                    self._column_spans[self._encoder.column_of[name]] = int(width)
+                    self.stats.rows_saved += 1
+                    continue
+            explicit_upper.append((name, upper))
+
+        # Base rows: problem constraints then leftover upper bounds,
+        # integer-normalised.
         self._base_rows: list[tuple[list[int], ConstraintSense, int]] = []
         for constraint in problem.constraints:
             self._append_base_row(
                 constraint.coefficients, constraint.sense, constraint.rhs
             )
-        for name, variable in problem.variables.items():
-            if variable.upper is not None:
-                self._append_base_row(
-                    {name: Fraction(1)}, ConstraintSense.LE, variable.upper
-                )
+        for name, upper in explicit_upper:
+            self._append_base_row({name: Fraction(1)}, ConstraintSense.LE, upper)
         self.stats.encode_seconds += time.perf_counter() - started
 
         self._tableau: _IntegerTableau | None = None
@@ -557,7 +815,9 @@ class IncrementalIlpEngine:
             padded.append(rhs)
             rows.append(padded)
 
-        tableau = _IntegerTableau(rows, basis, total, self.stats)
+        spans = list(self._column_spans) + [None] * (total - n_structural)
+        tableau = _IntegerTableau(rows, basis, total, self.stats, spans)
+        self.stats.tableau_rows += len(rows)
         if not artificial_columns:
             return tableau
 
@@ -605,6 +865,9 @@ class IncrementalIlpEngine:
         tableau.objective = (
             tableau.objective[:first_artificial] + [tableau.objective[-1]]
         )
+        tableau.spans = tableau.spans[:first_artificial]
+        tableau.bases = tableau.bases[:first_artificial]
+        tableau.signs = tableau.signs[:first_artificial]
         tableau.n_columns = first_artificial
         return tableau
 
@@ -663,10 +926,27 @@ class IncrementalIlpEngine:
         else:
             tableau = node.tableau.copy()
             name, sense, bound = node.cut
-            coefficients, rhs = self._branching_cut_row(
-                name, sense, bound, tableau.n_columns
-            )
-            tableau.add_le_row(coefficients, rhs)
+            bound_v = bound - self._encoder.shift_of[name]
+            if (
+                name not in self._encoder.negative_column_of
+                and bound_v.denominator == 1
+            ):
+                # Branching is a bound tightening, not a new row: the child
+                # tableau keeps its parent's height.  Integer branching
+                # bounds over a shifted (non-split) column are always
+                # integral, so this is the common path.
+                feasible = tableau.tighten_column(
+                    self._encoder.column_of[name], sense, int(bound_v)
+                )
+                if not feasible:
+                    return []
+                self.stats.rows_saved += 1
+            else:
+                # Split (free) variables fall back to an explicit cut row.
+                coefficients, rhs = self._branching_cut_row(
+                    name, sense, bound, tableau.n_columns
+                )
+                tableau.add_le_row(coefficients, rhs)
             status = tableau.dual_simplex()
             if status is LpStatus.INFEASIBLE:
                 return []

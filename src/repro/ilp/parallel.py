@@ -479,6 +479,9 @@ class ParallelBranchAndBound:
             stats.bound_prunes += int(child_stats.get("bound_prunes", 0))
             stats.stale_drops += int(child_stats.get("stale_drops", 0))
             stats.incumbent_updates += int(child_stats.get("incumbent_updates", 0))
+            stats.bound_flips += int(child_stats.get("bound_flips", 0))
+            stats.rows_saved += int(child_stats.get("rows_saved", 0))
+            stats.tableau_rows += int(child_stats.get("tableau_rows", 0))
             stats.parallel_busy_seconds += float(
                 child_stats.get("solve_seconds", 0.0)
             )

@@ -81,12 +81,49 @@ class Variable:
     is_integer: bool = True
 
     def __post_init__(self) -> None:
-        lower = None if self.lower is None else as_fraction(self.lower)
-        upper = None if self.upper is None else as_fraction(self.upper)
+        lower = self._validated_bound("lower", self.lower)
+        upper = self._validated_bound("upper", self.upper)
         if lower is not None and upper is not None and lower > upper:
             raise ValueError(f"variable {self.name}: lower bound exceeds upper bound")
         object.__setattr__(self, "lower", lower)
         object.__setattr__(self, "upper", upper)
+
+    def _validated_bound(self, side: str, value) -> Fraction | None:
+        if value is None:
+            return None
+        try:
+            return as_fraction(value)
+        except (TypeError, ValueError, OverflowError) as error:
+            raise ValueError(
+                f"variable {self.name}: {side} bound {value!r} is not a rational number"
+            ) from error
+
+    @property
+    def is_fixed(self) -> bool:
+        """True when the box pins the variable to a single value."""
+        return self.lower is not None and self.lower == self.upper
+
+    def normalized_bounds(self) -> tuple[Fraction | None, Fraction | None]:
+        """The box every solver path encodes: the integral hull for integers.
+
+        For an integer variable the bounds are tightened to
+        ``[ceil(lower), floor(upper)]`` — no integer point is lost, the box
+        width becomes integral (so the bounded-variable simplex can keep it
+        implicit instead of materialising a row), and a fractional box with
+        no integer point inside collapses to crossing bounds, which the
+        solvers read as immediate infeasibility.  Continuous variables are
+        returned unchanged.  This is the single place bound normalisation
+        happens; both the incremental engine and the dense oracle's
+        standard-form encoder consume it.
+        """
+        lower, upper = self.lower, self.upper
+        if not self.is_integer:
+            return lower, upper
+        if lower is not None and lower.denominator != 1:
+            lower = Fraction(-((-lower.numerator) // lower.denominator))  # ceil
+        if upper is not None and upper.denominator != 1:
+            upper = Fraction(upper.numerator // upper.denominator)  # floor
+        return lower, upper
 
 
 @dataclass
@@ -108,12 +145,9 @@ class LinearProblem:
         is_integer: bool = True,
     ) -> Variable:
         """Declare a variable; re-declaring an existing name must be consistent."""
-        variable = Variable(
-            name,
-            None if lower is None else as_fraction(lower),
-            None if upper is None else as_fraction(upper),
-            is_integer,
-        )
+        # Bounds go through Variable.__post_init__ untouched: that is the one
+        # place they are validated and normalised.
+        variable = Variable(name, lower, upper, is_integer)
         existing = self.variables.get(name)
         if existing is not None:
             if existing != variable:

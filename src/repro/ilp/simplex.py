@@ -11,7 +11,13 @@ pivoting rule is Dantzig's rule with an automatic switch to Bland's rule after
 a number of degenerate iterations, which guarantees termination.
 
 Only the small dense problems produced by the polyhedral scheduler are
-targeted; no sparsity or revised-simplex machinery is attempted.
+targeted; no sparsity or revised-simplex machinery is attempted.  Variable
+boxes reach this solver as explicit rows (the standard-form encoder in
+:mod:`repro.ilp.branch_bound` materialises every normalised upper bound):
+that is deliberate — this is the reference implementation the incremental
+engine's bounded-variable simplex (implicit boxes, bound flips) is
+differentially validated against, so the two paths must share nothing but
+the normalised bound semantics.
 """
 
 from __future__ import annotations

@@ -1,0 +1,37 @@
+"""Regenerate the golden schedule corpus (``tests/golden/schedules.json``).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Run it only when a schedule or search-path change is *intended* (a new
+engine search order, a changed cost-function default); commit the JSON diff
+together with the change so the review sees exactly what moved.  The pytest
+in ``tests/test_golden_schedules.py`` fails on any drift against this file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(TESTS_DIR))
+sys.path.insert(0, str(TESTS_DIR.parent / "src"))
+
+from test_golden_schedules import GOLDEN_PATH, capture_corpus  # noqa: E402
+
+
+def main() -> int:
+    corpus = capture_corpus()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+    cases = len(corpus)
+    solves = sum(len(case["node_keys"]) for case in corpus.values())
+    print(f"wrote {GOLDEN_PATH}: {cases} cases, {solves} ILP node keys")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

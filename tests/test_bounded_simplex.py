@@ -1,0 +1,388 @@
+"""Property-based differential suite for the bounded-variable simplex.
+
+Three independent implementations answer every generated problem:
+
+* the incremental engine (bounded-variable simplex, implicit boxes,
+  branching by bound tightening),
+* the retained dense oracle (explicit bound rows, cold two-phase simplex),
+* a brute-force lexicographic enumerator over the integer box (only on
+  fully-boxed instances, where enumeration is finite).
+
+Hypothesis generates the instances — seeded and shrinkable, so a failure
+replays deterministically and minimises itself — with the box shapes the
+bounded simplex special-cases: degenerate boxes (``lower == upper``),
+negative lower bounds, fractional bounds on integer variables (normalised
+to the integral hull, possibly empty), unbounded-above and free variables.
+
+Run with ``HYPOTHESIS_PROFILE=nightly`` for the deep sweep CI schedules
+alongside the fig2 differential run; the default profile is derandomised
+and small enough for tier-1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from fractions import Fraction
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.ilp import IlpSolver, LinearProblem
+from repro.ilp.engine import EngineStatistics, IncrementalIlpEngine
+
+settings.register_profile(
+    "default",
+    derandomize=True,
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    max_examples=1500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+def _fractions(min_value: int, max_value: int) -> st.SearchStrategy[Fraction]:
+    return st.builds(
+        Fraction,
+        st.integers(min_value=2 * min_value, max_value=2 * max_value),
+        st.sampled_from([1, 1, 2]),  # mostly integral, sometimes halves
+    )
+
+
+@st.composite
+def boxed_problems(draw) -> LinearProblem:
+    """Fully-boxed all-integer ILPs (small enough to brute-force)."""
+    n = draw(st.integers(min_value=1, max_value=3))
+    problem = LinearProblem()
+    for index in range(n):
+        lower = draw(_fractions(-3, 2))
+        # Degenerate boxes (lower == upper) and empty integral hulls (a
+        # fractional box with no integer inside) are deliberately likely.
+        width = draw(st.sampled_from([0, 0, 1, 2, 3, Fraction(1, 2)]))
+        problem.add_variable(f"x{index}", lower, lower + width)
+    names = list(problem.variables)
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        coefficients = {
+            name: draw(st.integers(min_value=-3, max_value=3)) for name in names
+        }
+        coefficients = {k: v for k, v in coefficients.items() if v}
+        if not coefficients:
+            continue
+        problem.add_constraint(
+            coefficients,
+            draw(st.sampled_from([">=", "<=", "=="])),
+            draw(_fractions(-4, 5)),
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        objective = {
+            name: draw(st.integers(min_value=-2, max_value=2)) for name in names
+        }
+        objective = {k: v for k, v in objective.items() if v}
+        if objective:
+            problem.add_objective(objective)
+    return problem
+
+
+@st.composite
+def open_problems(draw) -> LinearProblem:
+    """Problems with unbounded-above / free columns (engine vs oracle only)."""
+    n = draw(st.integers(min_value=1, max_value=3))
+    problem = LinearProblem()
+    for index in range(n):
+        kind = draw(st.sampled_from(["boxed", "boxed", "open", "free"]))
+        if kind == "boxed":
+            lower = draw(st.integers(min_value=-2, max_value=1))
+            problem.add_variable(f"x{index}", lower, lower + draw(st.integers(0, 4)))
+        elif kind == "open":
+            problem.add_variable(f"x{index}", draw(st.integers(-2, 1)), None)
+        else:
+            problem.add_variable(f"x{index}", None, draw(st.integers(0, 4)))
+    names = list(problem.variables)
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        coefficients = {
+            name: draw(st.integers(min_value=-3, max_value=3)) for name in names
+        }
+        coefficients = {k: v for k, v in coefficients.items() if v}
+        if not coefficients:
+            continue
+        problem.add_constraint(
+            coefficients,
+            draw(st.sampled_from([">=", "<=", "=="])),
+            draw(st.integers(min_value=-4, max_value=6)),
+        )
+    if draw(st.booleans()):
+        objective = {
+            name: draw(st.integers(min_value=0, max_value=2)) for name in names
+        }
+        objective = {k: v for k, v in objective.items() if v}
+        if objective:
+            problem.add_objective(objective)
+    return problem
+
+
+# --------------------------------------------------------------------------- #
+# Reference implementations
+# --------------------------------------------------------------------------- #
+def brute_force(problem: LinearProblem):
+    """Lexicographic minimum by enumerating the (finite) integer box.
+
+    Returns the tuple of optimal objective values, ``()`` for a feasible
+    pure-feasibility problem, or ``None`` when no integer point fits.
+    """
+    ranges = []
+    for variable in problem.variables.values():
+        assert variable.lower is not None and variable.upper is not None
+        low = -((-variable.lower.numerator) // variable.lower.denominator)  # ceil
+        high = variable.upper.numerator // variable.upper.denominator  # floor
+        if low > high:
+            return None
+        ranges.append([Fraction(value) for value in range(low, high + 1)])
+    names = list(problem.variables)
+    best: tuple[Fraction, ...] | None = None
+    for point in itertools.product(*ranges):
+        assignment = dict(zip(names, point))
+        if not all(c.evaluate(assignment) for c in problem.constraints):
+            continue
+        key = tuple(
+            sum(
+                (coeff * assignment.get(name, Fraction(0)) for name, coeff in objective.items()),
+                Fraction(0),
+            )
+            for objective in problem.objectives
+        )
+        if best is None or key < best:
+            best = key
+    return best
+
+
+def _solve(problem: LinearProblem, engine: str):
+    # Open (unbounded-column) instances can be LP-feasible but integer-
+    # infeasible along an unbounded direction — e.g. ``2*x1 + 2*x2 == 1``
+    # with both columns open — where branch & bound never terminates and
+    # the fraction-free integers blow up.  A small node limit keeps every
+    # generated instance cheap; limit hits are reported as an outcome so
+    # the caller can discard the example symmetrically.
+    solver = IlpSolver(engine=engine, node_limit=400)
+    try:
+        solution = solver.solve(problem)
+    except ValueError as error:
+        assert "unbounded" in str(error)
+        return "unbounded", solver
+    except RuntimeError as error:
+        assert "node limit" in str(error)
+        return "limit", solver
+    return solution, solver
+
+
+# --------------------------------------------------------------------------- #
+# Differential properties
+# --------------------------------------------------------------------------- #
+class TestBoxedDifferential:
+    @given(problem=boxed_problems())
+    def test_engine_oracle_and_brute_force_agree(self, problem: LinearProblem):
+        expected = brute_force(problem)
+        incremental = IlpSolver(engine="incremental")
+        engine_solution = incremental.solve(problem)
+        oracle_solution = IlpSolver(engine="oracle").solve(problem)
+
+        # The engine must stand on its own: no silent oracle fallback.
+        assert incremental.engine_fallbacks == 0
+        if expected is None:
+            assert engine_solution is None
+            assert oracle_solution is None
+            return
+        assert engine_solution is not None and oracle_solution is not None
+        assert tuple(engine_solution.objective_values) == expected
+        assert tuple(oracle_solution.objective_values) == expected
+        assert problem.is_feasible_assignment(engine_solution.assignment)
+        assert problem.is_feasible_assignment(oracle_solution.assignment)
+
+    @given(problem=boxed_problems())
+    def test_engine_incumbents_lie_in_every_box(self, problem: LinearProblem):
+        solution = IlpSolver(engine="incremental").solve(problem)
+        if solution is None:
+            return
+        for name, variable in problem.variables.items():
+            value = solution.assignment.get(name, Fraction(0))
+            assert variable.lower <= value <= variable.upper
+            assert value.denominator == 1
+
+
+class TestOpenDifferential:
+    @given(problem=open_problems())
+    def test_engine_matches_oracle_with_open_columns(self, problem: LinearProblem):
+        engine_solution, incremental = _solve(problem, "incremental")
+        oracle_solution, _ = _solve(problem, "oracle")
+        assert incremental.engine_fallbacks == 0
+        # A node-limit hit (either path) means the instance diverged along
+        # an unbounded integer direction: nothing to compare — discard.
+        assume(engine_solution != "limit" and oracle_solution != "limit")
+        if engine_solution == "unbounded" or oracle_solution == "unbounded":
+            assert engine_solution == oracle_solution
+            return
+        assert (engine_solution is None) == (oracle_solution is None)
+        if engine_solution is not None:
+            assert (
+                engine_solution.objective_values == oracle_solution.objective_values
+            )
+            assert problem.is_feasible_assignment(engine_solution.assignment)
+
+
+# --------------------------------------------------------------------------- #
+# Directed regressions for the bound machinery
+# --------------------------------------------------------------------------- #
+class TestBoundedSimplexUnits:
+    def test_entering_variable_stops_at_its_own_span(self):
+        # Regression: the ratio test once compared the entering column's span
+        # against den-scaled row ratios without scaling it, letting a basic
+        # variable overshoot its box (x0 = 9 > 7 here) and producing an
+        # "infeasible incumbent" engine error.
+        problem = LinearProblem()
+        problem.add_variable("x0", 0, 7)
+        problem.add_variable("x1", 0, 2)
+        problem.add_variable("x2", -3, 6)
+        problem.add_variable("x3", 0, 5)
+        problem.add_constraint({"x1": -3, "x3": 2}, "<=", 0)
+        problem.add_constraint({"x1": 1, "x2": 3}, "==", 0)
+        problem.add_constraint({"x0": 1, "x1": 1, "x2": 3}, ">=", 9)
+        # The equality pins x1 = x2 = 0 inside their boxes, so x0 >= 9 can
+        # never fit in [0, 7]: the engine must reach INFEASIBLE on its own
+        # (the regression surfaced as an EngineError -> oracle fallback).
+        incremental = IlpSolver(engine="incremental")
+        solution = incremental.solve(problem)
+        assert incremental.engine_fallbacks == 0
+        assert solution is None
+        assert IlpSolver(engine="oracle").solve(problem) is None
+
+    def test_upper_bounds_do_not_materialise_rows(self):
+        problem = LinearProblem()
+        for index in range(4):
+            problem.add_variable(f"x{index}", 0, 5)
+        problem.add_constraint({f"x{index}": 1 for index in range(4)}, ">=", 6)
+        problem.add_objective({f"x{index}": 1 for index in range(4)})
+        stats = EngineStatistics()
+        engine = IncrementalIlpEngine(problem, stats=stats)
+        assert engine.solve() is not None
+        # One constraint row only: the four boxes live in column spans.
+        assert stats.tableau_rows == 1
+        assert stats.rows_saved >= 4
+        assert len(engine._base_rows) == 1
+
+    def test_bound_flip_is_recorded_and_correct(self):
+        # Maximising a variable that nothing blocks before its own upper
+        # bound is exactly the no-pivot bound-flip step.
+        problem = LinearProblem()
+        problem.add_variable("x", 0, 9)
+        problem.add_variable("y", 0, 9)
+        problem.add_constraint({"x": 1, "y": 1}, "<=", 100)
+        problem.add_objective({"x": -1})
+        stats = EngineStatistics()
+        solution = IncrementalIlpEngine(problem, stats=stats).solve()
+        assert solution is not None
+        assert solution.value("x") == 9
+        assert stats.bound_flips >= 1
+
+    def test_fixed_variable_participates_without_rows(self):
+        problem = LinearProblem()
+        problem.add_variable("x", 3, 3)  # degenerate box
+        problem.add_variable("y", 0, 10)
+        problem.add_constraint({"x": 1, "y": 1}, ">=", 7)
+        problem.add_objective({"y": 1})
+        stats = EngineStatistics()
+        solution = IncrementalIlpEngine(problem, stats=stats).solve()
+        assert solution is not None
+        assert solution.value("x") == 3
+        assert solution.value("y") == 4
+        assert stats.tableau_rows == 1
+
+    def test_empty_integral_hull_is_infeasible(self):
+        problem = LinearProblem()
+        problem.add_variable("x", Fraction(1, 3), Fraction(2, 3))
+        assert IlpSolver(engine="incremental").solve(problem) is None
+        assert IlpSolver(engine="oracle").solve(problem) is None
+
+    def test_branching_tightens_bounds_instead_of_adding_rows(self):
+        problem = LinearProblem()
+        for index in range(4):
+            problem.add_variable(f"x{index}", 0, 7)
+        problem.add_constraint({f"x{index}": 2 for index in range(4)}, "==", 7)
+        stats = EngineStatistics()
+        assert IncrementalIlpEngine(problem, stats=stats).solve() is None
+        # Every explored child applied its branching cut as a tightening
+        # (4 implicit boxes + one tightening per cut node).
+        assert stats.rows_saved > 4
+        assert stats.warm_start_hits > 0
+
+
+# --------------------------------------------------------------------------- #
+# Bound validation / normalisation (the single normalisation point)
+# --------------------------------------------------------------------------- #
+class TestBoundNormalisation:
+    def test_reversed_bounds_rejected(self):
+        problem = LinearProblem()
+        with pytest.raises(ValueError, match="lower bound exceeds upper"):
+            problem.add_variable("x", 3, 1)
+
+    def test_non_rational_bounds_rejected(self):
+        problem = LinearProblem()
+        with pytest.raises(ValueError, match="not a rational number"):
+            problem.add_variable("x", float("nan"), 1)
+        with pytest.raises(ValueError, match="not a rational number"):
+            problem.add_variable("y", 0, float("inf"))
+        with pytest.raises(ValueError, match="not a rational number"):
+            problem.add_variable("z", "zero", 1)
+
+    def test_integer_bounds_tighten_to_integral_hull(self):
+        from repro.ilp.problem import Variable
+
+        variable = Variable("x", Fraction(-5, 2), Fraction(7, 2))
+        assert variable.normalized_bounds() == (Fraction(-2), Fraction(3))
+        assert not variable.is_fixed
+
+    def test_continuous_bounds_untouched(self):
+        from repro.ilp.problem import Variable
+
+        variable = Variable("x", Fraction(-5, 2), Fraction(7, 2), is_integer=False)
+        assert variable.normalized_bounds() == (Fraction(-5, 2), Fraction(7, 2))
+
+    def test_fixed_variable_detected(self):
+        from repro.ilp.problem import Variable
+
+        assert Variable("x", 2, 2).is_fixed
+        assert not Variable("x", 2, 3).is_fixed
+        assert not Variable("x", None, 3).is_fixed
+
+    def test_normalisation_shared_by_both_encoders(self):
+        # The oracle's standard-form encoder and the engine consume the same
+        # normalised box, so fractional integer bounds cannot diverge.
+        from repro.ilp.branch_bound import _StandardFormEncoder
+
+        problem = LinearProblem()
+        problem.add_variable("x", Fraction(-5, 2), Fraction(7, 2))
+        encoder = _StandardFormEncoder(problem)
+        assert encoder.box_of["x"] == (Fraction(-2), Fraction(3))
+        assert encoder.shift_of["x"] == Fraction(-2)
+        engine = IncrementalIlpEngine(problem)
+        assert engine._column_spans[encoder.column_of["x"]] == 5
+
+    def test_negative_lower_bound_gets_an_implicit_box(self):
+        problem = LinearProblem()
+        problem.add_variable("x", -4, 4)
+        problem.add_constraint({"x": 1}, "<=", 10)
+        stats = EngineStatistics()
+        engine = IncrementalIlpEngine(problem, stats=stats)
+        assert engine.solve() is not None
+        assert stats.rows_saved >= 1
+        assert stats.tableau_rows == 1  # just the constraint; no bound rows

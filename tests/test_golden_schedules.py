@@ -1,0 +1,107 @@
+"""Golden-schedule regression corpus.
+
+A representative slice of the fig2 PolyBench corpus (one kernel per suite
+family, both scheduling strategies) is pinned to checked-in golden files:
+per-statement schedule rows **and** the branch & bound ``node_key`` of every
+ILP the run solved.  The schedule rows freeze the end-to-end result; the
+node keys freeze the *search path* — a change that lands on the same
+schedule through a different tree (a lost warm start, a reordered branch, a
+broken tie-break) still fails loudly instead of silently drifting.
+
+On drift:
+
+* an intended change (new cost function default, engine search-order
+  change) regenerates the corpus with::
+
+      PYTHONPATH=src python tests/golden/regenerate.py
+
+  and the diff of ``tests/golden/schedules.json`` becomes part of the
+  review;
+* an unintended change is a regression — fix it, do not regenerate.
+
+The capture always forces the incremental engine (the golden search paths
+are engine search paths); the schedule rows themselves are differentially
+checked against the oracle by ``benchmarks/differential_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "schedules.json"
+
+#: (kernel, config factory name) cases: one kernel per PolyBench family —
+#: dense blas (gemm), bandwidth-bound blas (gemver), a stencil (jacobi-2d),
+#: a solver (cholesky) and a datamining kernel (correlation) — under both
+#: strategies the paper leans on.
+GOLDEN_KERNELS = ("gemm", "gemver", "jacobi-2d", "cholesky", "correlation")
+
+
+def capture_case(kernel: str, config) -> dict:
+    """Schedule rows + per-ILP node keys for one (kernel, config) run."""
+    from repro.scheduler.core import PolyTOPSScheduler
+    from repro.scheduler.solver_context import SolverContext
+    from repro.suites.polybench import build_kernel
+
+    node_keys: list[list[int] | None] = []
+    original_solve = SolverContext.solve
+
+    def recording_solve(self, problem):
+        solution = original_solve(self, problem)
+        if solution is not None:
+            key = solution.node_key
+            node_keys.append(None if key is None else list(key))
+        return solution
+
+    saved_engine = os.environ.get("REPRO_ILP_ENGINE")
+    os.environ["REPRO_ILP_ENGINE"] = "incremental"
+    SolverContext.solve = recording_solve
+    try:
+        result = PolyTOPSScheduler(build_kernel(kernel), config).schedule()
+    finally:
+        SolverContext.solve = original_solve
+        if saved_engine is None:
+            os.environ.pop("REPRO_ILP_ENGINE", None)
+        else:
+            os.environ["REPRO_ILP_ENGINE"] = saved_engine
+    return {
+        "statements": {
+            name: [str(row) for row in statement.rows]
+            for name, statement in result.schedule.statements.items()
+        },
+        "node_keys": node_keys,
+    }
+
+
+def capture_corpus() -> dict:
+    from repro.scheduler.strategies import isl_style, pluto_style
+
+    corpus: dict[str, dict] = {}
+    for kernel in GOLDEN_KERNELS:
+        for config in (pluto_style(), isl_style()):
+            corpus[f"{kernel}/{config.name}"] = capture_case(kernel, config)
+    return corpus
+
+
+def test_schedules_match_golden_corpus():
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden corpus at {GOLDEN_PATH}; generate it with "
+        "`PYTHONPATH=src python tests/golden/regenerate.py`"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = capture_corpus()
+    assert sorted(current) == sorted(golden), "golden corpus case list drifted"
+    for case, expected in golden.items():
+        actual = current[case]
+        assert actual["statements"] == expected["statements"], (
+            f"schedule drift on {case}: if intended, regenerate with "
+            "`PYTHONPATH=src python tests/golden/regenerate.py` and review "
+            "the diff"
+        )
+        assert actual["node_keys"] == expected["node_keys"], (
+            f"branch & bound search-path drift on {case} (schedules equal): "
+            "the solver reached the same answer differently; if intended, "
+            "regenerate the corpus and call the change out in review"
+        )
