@@ -4,7 +4,7 @@ Usage::
 
     python benchmarks/perf_gate.py BENCH_solver.json \
         [--baseline benchmarks/baselines/solver_baseline.json] \
-        [--threshold 0.25]
+        [--threshold 0.25] [--sparse-report BENCH_sparse.json]
 
 Two checks, in decreasing order of trust:
 
@@ -26,7 +26,11 @@ Overrides, both documented in the README:
   ``skip-perf-gate`` PR label) to skip the gate entirely;
 * refresh the committed baseline from a trusted run:
   ``python benchmarks/bench_solver.py --quick --output
-  benchmarks/baselines/solver_baseline.json``.
+  benchmarks/baselines/solver_baseline.json``, then
+  ``python benchmarks/bench_sparse.py --quick --update-baseline`` for the
+  sparse-core section (``--sparse-report`` gates ``fm_rows_emitted``,
+  ``fm_rows_pruned`` and the batched emptiness-probe counters the same way
+  ``tableau_rows`` is gated, with the regression direction per counter).
 """
 
 from __future__ import annotations
@@ -45,6 +49,18 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "solver_basel
 #: rows again instead of living in the bounded-variable simplex's column
 #: boxes — exactly the kind of silent slowdown wall-time noise would hide.
 WORK_COUNTERS = ("pivots", "nodes", "tableau_rows")
+
+#: Deterministic counters of the sparse polyhedral core, gated when a
+#: ``--sparse-report`` (from ``bench_sparse.py``) is provided.  Direction
+#: matters: emitted rows and emptiness probes regress *upward* (pruning or
+#: probe batching broke), pruned rows regress *downward* (the redundancy
+#: filters stopped firing).
+SPARSE_LOWER_IS_BETTER = (
+    "fm_rows_emitted",
+    "emptiness_probes",
+    "emptiness_engine_probes",
+)
+SPARSE_HIGHER_IS_BETTER = ("fm_rows_pruned",)
 
 
 def _machine_signature(report: dict) -> tuple:
@@ -116,6 +132,61 @@ def compare(report: dict, baseline: dict, threshold: float) -> tuple[list[str], 
     return failures, notes
 
 
+def compare_sparse(report: dict, baseline: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """Gate a ``bench_sparse.py`` report against the baseline's 'sparse' section."""
+    failures: list[str] = []
+    notes: list[str] = []
+    section = baseline.get("sparse")
+    if not section:
+        # Loud, like a missing baseline file: silently skipping would turn
+        # the sparse gate off forever after a bad refresh.
+        failures.append(
+            "baseline has no 'sparse' section; refresh it with "
+            "`python benchmarks/bench_sparse.py --quick --update-baseline`"
+        )
+        return failures, notes
+    if report.get("quick") != section.get("quick"):
+        failures.append(
+            "sparse corpus mismatch (quick=%r vs baseline quick=%r): refresh the "
+            "baseline with the same bench_sparse.py flags CI uses"
+            % (report.get("quick"), section.get("quick"))
+        )
+        return failures, notes
+    if report.get("mismatches"):
+        failures.append(
+            f"sparse/dense schedule mismatches in the report: {report['mismatches']}"
+        )
+    statistics = report.get("sparse_statistics") or {}
+    for counter, lower_is_better in [
+        (name, True) for name in SPARSE_LOWER_IS_BETTER
+    ] + [(name, False) for name in SPARSE_HIGHER_IS_BETTER]:
+        before = section.get(counter)
+        after = statistics.get(counter)
+        if before is None or after is None:
+            notes.append(f"sparse counter {counter!r} missing; skipped")
+            continue
+        if before == 0:
+            # A zero baseline admits no ratio: any growth of a lower-is-better
+            # counter is a regression (0 -> N is an infinite slowdown); a
+            # higher-is-better counter cannot drop below zero.
+            line = f"{counter}: {before} -> {after}"
+            if lower_is_better and after > 0:
+                failures.append(f"sparse-core regression: {line} grew from a zero baseline")
+            else:
+                notes.append(line)
+            continue
+        ratio = after / before
+        line = f"{counter}: {before} -> {after} ({ratio:.2f}x)"
+        regressed = (
+            ratio > 1.0 + threshold if lower_is_better else ratio < 1.0 - threshold
+        )
+        if regressed:
+            failures.append(f"sparse-core regression: {line} exceeds {threshold:.0%}")
+        else:
+            notes.append(line)
+    return failures, notes
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="fresh BENCH_solver.json to check")
@@ -125,6 +196,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.25,
         help="allowed slowdown fraction (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--sparse-report",
+        default=None,
+        help="optional BENCH_sparse.json; gates the sparse-core counters "
+        "against the baseline's 'sparse' section",
     )
     arguments = parser.parse_args(argv)
 
@@ -148,6 +225,13 @@ def main(argv: list[str] | None = None) -> int:
     report = json.loads(Path(arguments.report).read_text())
     baseline = json.loads(baseline_path.read_text())
     failures, notes = compare(report, baseline, arguments.threshold)
+    if arguments.sparse_report:
+        sparse_report = json.loads(Path(arguments.sparse_report).read_text())
+        sparse_failures, sparse_notes = compare_sparse(
+            sparse_report, baseline, arguments.threshold
+        )
+        failures.extend(sparse_failures)
+        notes.extend(sparse_notes)
     for note in notes:
         print(f"perf gate: {note}")
     for failure in failures:

@@ -19,6 +19,7 @@ from ..model.scop import Scop
 from ..model.statement import Statement
 from ..polyhedra.affine import AffineExpr
 from ..polyhedra.constraint import AffineConstraint
+from ..polyhedra.emptiness import BatchProbe
 from ..polyhedra.polyhedron import Polyhedron
 from ..polyhedra.space import Space
 from .dependence import SOURCE_SUFFIX, TARGET_SUFFIX, Dependence, DependenceKind
@@ -57,24 +58,37 @@ def deduplicate_dependences(dependences: Sequence[Dependence]) -> list[Dependenc
 
 @dataclass
 class DependenceAnalysis:
-    """Configuration for the dependence analysis."""
+    """Configuration for the dependence analysis.
+
+    Every candidate polyhedron of one :meth:`run` is probed for integer
+    emptiness through a single :class:`~repro.polyhedra.emptiness.BatchProbe`
+    — one engine context per SCoP instead of one solver per probe — and the
+    probe counters of the last run stay readable on
+    :attr:`last_probe_statistics` (the pipeline's dependence stage reports
+    them as a diagnostic).
+    """
 
     include_flow: bool = True
     include_anti: bool = True
     include_output: bool = True
 
+    def __post_init__(self) -> None:
+        self.last_probe_statistics: dict[str, int] = {}
+
     def run(self, scop: Scop) -> list[Dependence]:
+        probe = BatchProbe()
         dependences: list[Dependence] = []
         for source in scop.statements:
             for target in scop.statements:
-                dependences.extend(self._statement_pair(scop, source, target))
+                dependences.extend(self._statement_pair(scop, source, target, probe))
+        self.last_probe_statistics = probe.statistics()
         return dependences
 
     # ------------------------------------------------------------------ #
     # Per statement pair
     # ------------------------------------------------------------------ #
     def _statement_pair(
-        self, scop: Scop, source: Statement, target: Statement
+        self, scop: Scop, source: Statement, target: Statement, probe: BatchProbe
     ) -> Iterable[Dependence]:
         arrays = source.accessed_arrays() & target.accessed_arrays()
         for array in sorted(arrays):
@@ -84,7 +98,7 @@ class DependenceAnalysis:
                     if kind is None:
                         continue
                     yield from self._access_pair(
-                        scop, source, target, source_access, target_access, kind
+                        scop, source, target, source_access, target_access, kind, probe
                     )
 
     def _classify(
@@ -109,6 +123,7 @@ class DependenceAnalysis:
         source_access: ArrayAccess,
         target_access: ArrayAccess,
         kind: DependenceKind,
+        probe: BatchProbe,
     ) -> Iterable[Dependence]:
         source_map = {name: f"{name}{SOURCE_SUFFIX}" for name in source.iterators}
         target_map = {name: f"{name}{TARGET_SUFFIX}" for name in target.iterators}
@@ -147,7 +162,7 @@ class DependenceAnalysis:
             level_constraints = list(base_constraints) + list(prefix_equalities)
             level_constraints.append(AffineConstraint.greater_equal(difference, 1))
             polyhedron = Polyhedron.from_constraints(combined_space, level_constraints)
-            if not polyhedron.has_trivial_contradiction() and not polyhedron.is_empty():
+            if not probe.is_integer_empty(polyhedron):
                 yield Dependence(
                     source=source.name,
                     target=target.name,
@@ -180,15 +195,20 @@ def compute_dependences(
     include_anti: bool = True,
     include_output: bool = True,
     deduplicate: bool = False,
+    probe_statistics: dict | None = None,
 ) -> list[Dependence]:
     """Compute the dependences of *scop* (flow, anti and output by default).
 
     With ``deduplicate=True`` dependences imposing identical scheduling
     constraints (same source, target and polyhedron, differing only by kind)
-    are collapsed to one representative each.
+    are collapsed to one representative each.  Passing a dict as
+    ``probe_statistics`` fills it with the batched emptiness-probe counters
+    of the run (probe count, cache reuse hits, engine probes).
     """
     analysis = DependenceAnalysis(include_flow, include_anti, include_output)
     dependences = analysis.run(scop)
+    if probe_statistics is not None:
+        probe_statistics.update(analysis.last_probe_statistics)
     if deduplicate:
         return deduplicate_dependences(dependences)
     return dependences

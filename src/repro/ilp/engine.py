@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping, Sequence
 
+from ..linalg.rational import as_fraction
 from ..linalg.varspace import clear_denominators, reduce_integer_row
 from .branch_bound import _StandardFormEncoder, _evaluate, _first_fractional
 from .problem import ConstraintSense, LinearProblem
@@ -738,10 +739,47 @@ class IncrementalIlpEngine:
         sense: ConstraintSense,
         rhs: Fraction,
     ) -> None:
-        dense, offset = self._encode_terms(coefficients)
-        dense.append(rhs - offset)
-        integer = reduce_integer_row(clear_denominators(dense))
+        integer = self._encode_integer_row(coefficients, rhs)
+        if integer is None:
+            dense, offset = self._encode_terms(coefficients)
+            dense.append(rhs - offset)
+            integer = reduce_integer_row(clear_denominators(dense))
         self._base_rows.append((integer[:-1], sense, integer[-1]))
+
+    def _encode_integer_row(
+        self, coefficients: Mapping[str, Fraction], rhs: Fraction
+    ) -> list[int] | None:
+        """Sparse all-integer encoding, or ``None`` when any datum is fractional.
+
+        The sparse Farkas core hands the scheduler integer rows already, so
+        the common path builds the standard-form row by walking the non-zero
+        terms only — no dense Fraction vector, no common-denominator pass
+        (``clear_denominators``) over the full column width.  Any fractional
+        coefficient, shift or right-hand side falls back to the exact
+        rational encoding.
+        """
+        rhs = as_fraction(rhs)
+        if rhs.denominator != 1:
+            return None
+        encoder = self._encoder
+        row = [0] * self.n_structural
+        offset = 0
+        for name, coefficient in coefficients.items():
+            coefficient = as_fraction(coefficient)
+            if coefficient.denominator != 1:
+                return None
+            value = coefficient.numerator
+            shift = encoder.shift_of[name]
+            if shift:
+                if shift.denominator != 1:
+                    return None
+                offset += value * shift.numerator
+            row[encoder.column_of[name]] += value
+            negative = encoder.negative_column_of.get(name)
+            if negative is not None:
+                row[negative] -= value
+        row.append(rhs.numerator - offset)
+        return reduce_integer_row(row)
 
     def _encode_objective(
         self, objective: Mapping[str, Fraction]

@@ -22,6 +22,7 @@ from .rational import (
     normalize_integer_row,
     scale_to_integers,
 )
+from .sparse import SparseRow
 from .varspace import (
     VariableSpace,
     clear_denominators,
@@ -30,6 +31,7 @@ from .varspace import (
 
 __all__ = [
     "RationalMatrix",
+    "SparseRow",
     "Rational",
     "as_fraction",
     "common_denominator",

@@ -75,11 +75,14 @@ class Session:
         self.use_tiling = use_tiling
         self.tile_sizes = tuple(tile_sizes)
         self._dependences: dict[str, list[Dependence]] = {}
+        self._probe_statistics: dict[str, dict[str, int]] = {}
         self._results: dict[tuple, CompilationResult] = {}
         self._lock = threading.RLock()
         self.statistics = {
             "dependence_hits": 0,
             "dependence_misses": 0,
+            "emptiness_probes": 0,
+            "emptiness_reuse_hits": 0,
             "result_hits": 0,
             "result_misses": 0,
         }
@@ -98,15 +101,29 @@ class Session:
                 return self._dependences[fingerprint]
         # Compute outside the lock so concurrent compile_many workers analyse
         # distinct kernels in parallel; a rare duplicated analysis of the same
-        # kernel is resolved by keeping the first stored list.
-        dependences = compute_dependences(scop)
+        # kernel is resolved by keeping the first stored list.  Each analysis
+        # batches its emptiness probes through one engine context per SCoP.
+        probe_statistics: dict[str, int] = {}
+        dependences = compute_dependences(scop, probe_statistics=probe_statistics)
         with self._lock:
             if fingerprint in self._dependences:
                 self.statistics["dependence_hits"] += 1
             else:
                 self.statistics["dependence_misses"] += 1
                 self._dependences[fingerprint] = dependences
+                self._probe_statistics[fingerprint] = probe_statistics
+                self.statistics["emptiness_probes"] += probe_statistics.get(
+                    "emptiness_probes", 0
+                )
+                self.statistics["emptiness_reuse_hits"] += probe_statistics.get(
+                    "emptiness_reuse_hits", 0
+                )
             return self._dependences[fingerprint]
+
+    def dependence_probe_statistics(self, scop: Scop) -> dict[str, int]:
+        """Emptiness-probe counters of *scop*'s (cached) dependence analysis."""
+        with self._lock:
+            return dict(self._probe_statistics.get(scop_fingerprint(scop), {}))
 
     # ------------------------------------------------------------------ #
     # One-shot compilation

@@ -130,6 +130,12 @@ def _solver_summary(statistics: Mapping[str, int | float]) -> str | None:
         f"{nodes} nodes",
         f"{statistics.get('warm_start_hits', 0)} warm starts",
     ]
+    generated = statistics.get("fm_rows_generated", 0)
+    if generated:
+        parts.append(
+            f"fm: {generated} rows -> {statistics.get('fm_rows_emitted', 0)} "
+            f"({statistics.get('fm_rows_pruned', 0)} pruned)"
+        )
     encode = statistics.get("encode_seconds")
     solve = statistics.get("solve_seconds")
     if isinstance(encode, (int, float)) and isinstance(solve, (int, float)):
@@ -162,6 +168,17 @@ class DependenceStage:
 
     def run(self, context: PipelineContext) -> None:
         context.dependences = context.session.dependences(context.scop)
+        probes = context.session.dependence_probe_statistics(context.scop)
+        if probes.get("emptiness_probes"):
+            context.diagnostics.append(
+                "emptiness: {probes} probes via 1 batched engine context "
+                "({reused} reused, {trivial} trivial, {engine} engine solves)".format(
+                    probes=probes.get("emptiness_probes", 0),
+                    reused=probes.get("emptiness_reuse_hits", 0),
+                    trivial=probes.get("emptiness_trivial_hits", 0),
+                    engine=probes.get("emptiness_engine_probes", 0),
+                )
+            )
 
 
 class SchedulingStage:

@@ -14,11 +14,21 @@ from .emptiness import (
     is_integer_empty,
 )
 from .farkas import FarkasResult, farkas_nonnegative
-from .fourier_motzkin import eliminate_variable, eliminate_variables, simplify_constraints
+from .fourier_motzkin import (
+    active_core,
+    eliminate_variable,
+    eliminate_variables,
+    simplify_constraints,
+)
 from .polyhedron import Polyhedron
 from .space import CONSTANT_KEY, Space
+from .sparse_fm import FM_STATS, FmStatistics, SparseSystem
 
 __all__ = [
+    "active_core",
+    "FM_STATS",
+    "FmStatistics",
+    "SparseSystem",
     "AffineExpr",
     "AffineConstraint",
     "ConstraintKind",

@@ -7,6 +7,12 @@ branch & bound as its automatic fallback).  Enumeration requires a bounded set
 and proceeds dimension by dimension using the rational bounds from
 Fourier–Motzkin projection, checking each candidate point against the
 original constraints.
+
+Callers issuing *many* probes — dependence analysis asks one per access pair
+and original depth — should hold a :class:`BatchProbe`: one engine-backed
+solver (and its aggregated statistics) serves every candidate polyhedron of
+a SCoP, and structurally identical polyhedra are answered from a signature
+cache instead of a fresh ILP.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from .polyhedron import Polyhedron
 from .space import CONSTANT_KEY
 
 __all__ = [
+    "BatchProbe",
     "is_integer_empty",
     "find_integer_point",
     "enumerate_integer_points",
@@ -40,6 +47,82 @@ def _to_problem(polyhedron: Polyhedron) -> LinearProblem:
         sense = ConstraintSense.EQ if constraint.is_equality else ConstraintSense.GE
         problem.add_constraint(coefficients, sense, rhs)
     return problem
+
+
+class BatchProbe:
+    """One engine-backed context answering a batch of emptiness probes.
+
+    The historical path built a fresh :class:`IlpSolver` per probe, so a
+    SCoP's dependence analysis paid solver construction and statistics
+    isolation for every access pair and depth.  A ``BatchProbe`` amortises
+    both: the solver (and the incremental engine statistics it aggregates)
+    lives for the whole batch, and a canonical constraint signature caches
+    verdicts so structurally identical candidate polyhedra — common under
+    per-depth splitting, where only the lexicographic difference row moves —
+    are answered without touching the engine at all.
+
+    ``workers=1`` pins the probes to the sequential path: feasibility trees
+    are tiny and a probe context must not spin up a worker pool under a
+    ``REPRO_ILP_WORKERS`` default.  A ``BatchProbe`` is *not* thread-safe;
+    concurrent pipeline workers hold one each (dependence analysis creates
+    one per run).
+    """
+
+    def __init__(self) -> None:
+        self.solver = IlpSolver(workers=1)
+        self._verdicts: dict[tuple, dict[str, int] | None] = {}
+        self.probes = 0
+        self.trivial_hits = 0
+        self.reuse_hits = 0
+        self.engine_probes = 0
+
+    @staticmethod
+    def _signature(polyhedron: Polyhedron) -> tuple:
+        constraints = frozenset(
+            (
+                constraint.kind,
+                frozenset(constraint.expression.coefficients.items()),
+                constraint.expression.constant,
+            )
+            for constraint in polyhedron.constraints
+        )
+        return (polyhedron.space.names, constraints)
+
+    def find_integer_point(self, polyhedron: Polyhedron) -> dict[str, int] | None:
+        """Some integer point of the polyhedron, or ``None`` when it is empty."""
+        self.probes += 1
+        if polyhedron.has_trivial_contradiction():
+            self.trivial_hits += 1
+            return None
+        signature = self._signature(polyhedron)
+        if signature in self._verdicts:
+            self.reuse_hits += 1
+            cached = self._verdicts[signature]
+            # A fresh dict per call: callers may adjust the witness point,
+            # which must not corrupt the cached verdict.
+            return None if cached is None else dict(cached)
+        self.engine_probes += 1
+        solution = self.solver.solve(_to_problem(polyhedron))
+        point = (
+            None
+            if solution is None
+            else {name: int(value) for name, value in solution.assignment.items()}
+        )
+        self._verdicts[signature] = point
+        return None if point is None else dict(point)
+
+    def is_integer_empty(self, polyhedron: Polyhedron) -> bool:
+        """True when the polyhedron contains no integer point."""
+        return self.find_integer_point(polyhedron) is None
+
+    def statistics(self) -> dict[str, int]:
+        """Probe counters (batch totals, cheap to read at any point)."""
+        return {
+            "emptiness_probes": self.probes,
+            "emptiness_trivial_hits": self.trivial_hits,
+            "emptiness_reuse_hits": self.reuse_hits,
+            "emptiness_engine_probes": self.engine_probes,
+        }
 
 
 def is_integer_empty(polyhedron: Polyhedron) -> bool:

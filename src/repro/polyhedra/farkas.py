@@ -13,25 +13,39 @@ system that is linear in both the ILP unknowns and the Farkas multipliers; the
 multipliers are then eliminated (Gaussian substitution + Fourier–Motzkin),
 leaving constraints over the ILP unknowns only.
 
-The whole linearisation runs on the indexed integer core of
-:mod:`repro.polyhedra.fourier_motzkin`: multipliers occupy the first columns,
-ILP unknowns are interned behind them, and the multiplier columns are
-eliminated with integer row arithmetic.  Only the surviving rows are converted
-back to named form.
+The linearisation runs on whichever elimination core
+:func:`repro.polyhedra.fourier_motzkin.active_core` selects.  On the default
+sparse core the multiplier/ILP system is assembled as
+:class:`~repro.linalg.sparse.SparseRow` objects (multipliers occupy the first
+columns, ILP unknowns are interned behind them), eliminated with redundancy
+pruning by :class:`~repro.polyhedra.sparse_fm.SparseSystem`, and the surviving
+sparse rows are handed to the ILP layer *directly* — :meth:`FarkasResult.as_rows`
+walks the non-zero terms only, with no dense row or
+:class:`~repro.polyhedra.constraint.AffineConstraint` materialised in between.
+The retained dense core (``REPRO_FM_CORE=dense``) keeps the historical dense
+integer row pipeline for differential validation.
 """
 
 from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..linalg.rational import as_fraction
+from ..linalg.sparse import SparseRow
 from ..linalg.varspace import VariableSpace, clear_denominators
 from .constraint import AffineConstraint
-from .fourier_motzkin import eliminate_columns, rows_to_constraints, simplify_rows
+from .fourier_motzkin import (
+    active_core,
+    eliminate_columns,
+    rows_to_constraints,
+    simplify_rows,
+    sparse_to_constraints,
+)
 from .polyhedron import Polyhedron
 from .space import CONSTANT_KEY
+from .sparse_fm import SparseSystem
 
 __all__ = ["FarkasResult", "farkas_nonnegative", "LinearCombination"]
 
@@ -42,10 +56,34 @@ _multiplier_counter = itertools.count()
 
 
 class FarkasResult:
-    """Constraints over ILP variables equivalent to non-negativity over the polyhedron."""
+    """Constraints over ILP variables equivalent to non-negativity over the polyhedron.
 
-    def __init__(self, constraints: list[AffineConstraint]):
-        self.constraints = constraints
+    Built either from named :class:`AffineConstraint` objects (dense core) or
+    from the sparse rows surviving the multiplier elimination plus the column
+    names they refer to (sparse core).  :meth:`as_rows` is the hot accessor —
+    on the sparse path it reads the non-zero terms straight off the rows; the
+    :attr:`constraints` view is materialised lazily for callers that want
+    named constraint objects.
+    """
+
+    def __init__(
+        self,
+        constraints: list[AffineConstraint] | None = None,
+        sparse_rows: Sequence[tuple[SparseRow, bool]] | None = None,
+        names: Sequence[str] = (),
+    ):
+        self._constraints = constraints
+        self._sparse_rows = sparse_rows
+        self._names = tuple(names)
+
+    @property
+    def constraints(self) -> list[AffineConstraint]:
+        if self._constraints is None:
+            space = VariableSpace(self._names)
+            self._constraints = sparse_to_constraints(
+                list(self._sparse_rows or ()), space
+            )
+        return self._constraints
 
     def as_rows(self) -> list[tuple[dict[str, Fraction], str, Fraction]]:
         """Rows ``(coefficients, sense, rhs)`` ready for :class:`LinearProblem`.
@@ -54,6 +92,16 @@ class FarkasResult:
         sense ``">="`` or ``"=="``.
         """
         rows: list[tuple[dict[str, Fraction], str, Fraction]] = []
+        if self._sparse_rows is not None:
+            names = self._names
+            for row, is_equality in self._sparse_rows:
+                coefficients = {
+                    names[column]: Fraction(value) for column, value in row.terms
+                }
+                rows.append(
+                    (coefficients, "==" if is_equality else ">=", Fraction(-row.constant))
+                )
+            return rows
         for constraint in self.constraints:
             coefficients = dict(constraint.expression.coefficients)
             rhs = -constraint.expression.constant
@@ -91,6 +139,103 @@ def farkas_nonnegative(
                 (tuple(-value for value in coefficients), -expression.constant)
             )
 
+    if active_core() == "sparse":
+        return _farkas_sparse(
+            inequality_rows, dimension_names, coefficient_templates, constant_template
+        )
+    return _farkas_dense(
+        inequality_rows, dimension_names, coefficient_templates, constant_template
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sparse core
+# --------------------------------------------------------------------------- #
+def _farkas_sparse(
+    inequality_rows: list[tuple[tuple[Fraction, ...], Fraction]],
+    dimension_names: Sequence[str],
+    coefficient_templates: Mapping[str, LinearCombination],
+    constant_template: LinearCombination,
+) -> FarkasResult:
+    n_multipliers = len(inequality_rows)
+    # Column layout: [multipliers | ILP variables]; the constant is carried by
+    # the rows themselves.  ILP columns are interned on the fly.
+    ilp_space = VariableSpace()
+
+    def template_terms(
+        template: LinearCombination,
+    ) -> tuple[list[tuple[int, Fraction]], Fraction]:
+        terms: list[tuple[int, Fraction]] = []
+        constant = Fraction(0)
+        for name, value in template.items():
+            value = as_fraction(value)
+            if name == CONSTANT_KEY:
+                constant += value
+            elif value:
+                terms.append((n_multipliers + ilp_space.intern(name), value))
+        return terms, constant
+
+    rows: list[SparseRow] = []
+    kinds: list[bool] = []
+
+    # Multipliers are non-negative (rows are canonical by construction).
+    for index in range(n_multipliers):
+        rows.append(SparseRow(((index, 1),), 0))
+        kinds.append(False)
+
+    # Coefficient matching for every dimension of the polyhedron.
+    for position, dimension in enumerate(dimension_names):
+        terms, constant = template_terms(coefficient_templates.get(dimension, {}))
+        pairs: list[tuple[int, Fraction]] = [
+            (index, -coefficients[position])
+            for index, (coefficients, _) in enumerate(inequality_rows)
+            if coefficients[position]
+        ]
+        pairs.extend(terms)
+        rows.append(SparseRow.from_rational_terms(pairs, constant))
+        kinds.append(True)
+
+    # Constant matching: the residue equals lambda_0 >= 0, so an inequality suffices.
+    terms, constant = template_terms(constant_template)
+    pairs = [
+        (index, -row_constant)
+        for index, (_, row_constant) in enumerate(inequality_rows)
+        if row_constant
+    ]
+    pairs.extend(terms)
+    rows.append(SparseRow.from_rational_terms(pairs, constant))
+    kinds.append(False)
+
+    system = SparseSystem.from_rows(rows, kinds)
+    system.eliminate_columns(range(n_multipliers))
+
+    # Only ILP columns survive; shift them down to the ILP space's indexing so
+    # the result can decode them against the interned names directly.
+    shifted: list[tuple[SparseRow, bool]] = []
+    for row, is_equality in system.rows():
+        shifted.append(
+            (
+                SparseRow(
+                    tuple(
+                        (column - n_multipliers, value) for column, value in row.terms
+                    ),
+                    row.constant,
+                ),
+                is_equality,
+            )
+        )
+    return FarkasResult(sparse_rows=shifted, names=ilp_space.names)
+
+
+# --------------------------------------------------------------------------- #
+# Retained dense core (REPRO_FM_CORE=dense)
+# --------------------------------------------------------------------------- #
+def _farkas_dense(
+    inequality_rows: list[tuple[tuple[Fraction, ...], Fraction]],
+    dimension_names: Sequence[str],
+    coefficient_templates: Mapping[str, LinearCombination],
+    constant_template: LinearCombination,
+) -> FarkasResult:
     n_multipliers = len(inequality_rows)
     # Column layout: [multipliers | ILP variables | constant].  The ILP-variable
     # columns are interned on the fly while the template rows are assembled.

@@ -13,34 +13,50 @@ Over the rationals this yields the exact projection.  Over the integers the
 result is the rational shadow, which is an over-approximation; this is exactly
 what the legality/codegen layers need (guards re-establish exactness).
 
-The elimination core works on an *indexed integer* representation: variable
-names are interned to dense columns through
-:class:`repro.linalg.varspace.VariableSpace` and every constraint becomes a
-plain ``list[int]`` (coefficients followed by the constant, denominators
-cleared and GCD-reduced).  This keeps the hot combination loops free of both
-string hashing and :class:`~fractions.Fraction` normalisation; the public
-functions below still speak :class:`AffineConstraint` and convert at the
-boundary, while :func:`repro.polyhedra.farkas.farkas_nonnegative` feeds the
-core directly with indexed rows.
+Two elimination cores implement this contract:
+
+* the **sparse core** (:mod:`repro.polyhedra.sparse_fm`, the default) stores
+  rows as sorted ``(column, value)`` pairs with per-column occurrence
+  indices and prunes redundant rows (duplicate/scalar-multiple hashing,
+  syntactic subsumption, Imbert/Kohler coefficient-bound drops) after every
+  elimination step;
+* the **dense core** (the functions below, retained) keeps every constraint
+  as a plain ``list[int]`` — one entry per column interned through
+  :class:`repro.linalg.varspace.VariableSpace` plus the constant.  It is the
+  reference the differential suite validates the sparse core against.
+
+``REPRO_FM_CORE=dense`` (or ``sparse``) selects the core process-wide; the
+public functions below speak :class:`AffineConstraint` and convert at the
+boundary (:func:`constraints_to_rows`/:func:`rows_to_constraints` are the
+dense conversion shims), while :func:`repro.polyhedra.farkas.farkas_nonnegative`
+feeds whichever core is active directly with indexed rows.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from ..linalg.sparse import SparseRow
 from ..linalg.varspace import VariableSpace, clear_denominators, reduce_integer_row
 from .affine import AffineExpr
 from .constraint import AffineConstraint, ConstraintKind
+from .sparse_fm import FM_STATS, SparseSystem
 
 __all__ = [
     # AffineConstraint API
     "eliminate_variable",
     "eliminate_variables",
     "simplify_constraints",
+    # Core selection
+    "active_core",
     # Indexed integer core (used directly by repro.polyhedra.farkas)
     "constraints_to_rows",
     "rows_to_constraints",
+    "constraints_to_sparse",
+    "sparse_to_constraints",
     "simplify_rows",
     "eliminate_column",
     "eliminate_columns",
@@ -51,6 +67,21 @@ __all__ = [
 IndexedRows = list[list[int]]
 RowKinds = list[bool]
 
+_FM_CORES = ("sparse", "dense")
+
+
+def active_core() -> str:
+    """The elimination core selected by ``REPRO_FM_CORE`` (default sparse)."""
+    choice = os.environ.get("REPRO_FM_CORE", "sparse").strip().lower()
+    if choice not in _FM_CORES:
+        # A typo here would silently run the differential suite against the
+        # core it is meant to validate; fail loudly instead.
+        raise ValueError(
+            f"REPRO_FM_CORE={choice!r} is not a known elimination core; "
+            f"known: {_FM_CORES}"
+        )
+    return choice
+
 
 # --------------------------------------------------------------------------- #
 # Public (AffineConstraint) API
@@ -59,14 +90,7 @@ def eliminate_variable(
     constraints: Sequence[AffineConstraint], name: str
 ) -> list[AffineConstraint]:
     """Project the constraint system onto the dimensions other than *name*."""
-    space = VariableSpace()
-    rows, kinds = constraints_to_rows(constraints, space)
-    column = space.get(name)
-    if column is None:
-        rows, kinds = simplify_rows(rows, kinds)
-    else:
-        rows, kinds = eliminate_column(rows, kinds, column)
-    return rows_to_constraints(rows, kinds, space)
+    return eliminate_variables(constraints, [name])
 
 
 def eliminate_variables(
@@ -74,6 +98,16 @@ def eliminate_variables(
 ) -> list[AffineConstraint]:
     """Eliminate several variables, one at a time (cheapest first)."""
     space = VariableSpace()
+    if active_core() == "sparse":
+        sparse_rows, kinds = constraints_to_sparse(constraints, space)
+        system = SparseSystem.from_rows(sparse_rows, kinds)
+        columns = [
+            column
+            for column in (space.get(name) for name in names)
+            if column is not None
+        ]
+        system.eliminate_columns(columns)
+        return sparse_to_constraints(system.rows(), space)
     rows, kinds = constraints_to_rows(constraints, space)
     # Names absent from every constraint are already eliminated; interning
     # them would alias the constant column of the rows built above.
@@ -82,13 +116,20 @@ def eliminate_variables(
         for column in (space.get(name) for name in names)
         if column is not None
     ]
-    rows, kinds = eliminate_columns(rows, kinds, columns)
+    if not columns:
+        rows, kinds = simplify_rows(rows, kinds)
+    else:
+        rows, kinds = eliminate_columns(rows, kinds, columns)
     return rows_to_constraints(rows, kinds, space)
 
 
 def simplify_constraints(constraints: Sequence[AffineConstraint]) -> list[AffineConstraint]:
-    """Normalise coefficients, drop duplicates and trivially-true constraints."""
+    """Normalise coefficients, drop duplicates/subsumed and trivially-true constraints."""
     space = VariableSpace()
+    if active_core() == "sparse":
+        sparse_rows, kinds = constraints_to_sparse(constraints, space)
+        system = SparseSystem.from_rows(sparse_rows, kinds)
+        return sparse_to_constraints(system.rows(), space)
     rows, kinds = constraints_to_rows(constraints, space)
     rows, kinds = simplify_rows(rows, kinds)
     return rows_to_constraints(rows, kinds, space)
@@ -136,34 +177,100 @@ def rows_to_constraints(
     return constraints
 
 
+def constraints_to_sparse(
+    constraints: Sequence[AffineConstraint], space: VariableSpace
+) -> tuple[list[SparseRow], RowKinds]:
+    """Intern every name of *constraints* into *space* and emit sparse rows."""
+    for constraint in constraints:
+        for name in constraint.expression.coefficients:
+            space.intern(name)
+    rows: list[SparseRow] = []
+    kinds: RowKinds = []
+    for constraint in constraints:
+        expression = constraint.expression
+        rows.append(
+            SparseRow.from_rational_terms(
+                {
+                    space.index_of(name): value
+                    for name, value in expression.coefficients.items()
+                },
+                expression.constant,
+            )
+        )
+        kinds.append(constraint.is_equality)
+    return rows, kinds
+
+
+def sparse_to_constraints(
+    rows: Sequence[tuple[SparseRow, bool]], space: VariableSpace
+) -> list[AffineConstraint]:
+    """Convert ``(SparseRow, is_equality)`` pairs into :class:`AffineConstraint`."""
+    names = space.names
+    constraints: list[AffineConstraint] = []
+    for row, is_equality in rows:
+        expression = AffineExpr(row.decode(names), Fraction(row.constant))
+        kind = ConstraintKind.EQUALITY if is_equality else ConstraintKind.INEQUALITY
+        constraints.append(AffineConstraint(expression, kind))
+    return constraints
+
+
 # --------------------------------------------------------------------------- #
-# Indexed integer core
+# Dense indexed integer core (retained; REPRO_FM_CORE=dense)
 # --------------------------------------------------------------------------- #
 def simplify_rows(rows: IndexedRows, kinds: RowKinds) -> tuple[IndexedRows, RowKinds]:
     """GCD-reduce rows, drop duplicates and trivially-true rows (order kept)."""
+    rows, kinds, _keys = _simplify_rows_cached(rows, kinds, [None] * len(rows))
+    return rows, kinds
+
+
+def _simplify_rows_cached(
+    rows: IndexedRows, kinds: RowKinds, keys: list[tuple | None]
+) -> tuple[IndexedRows, RowKinds, list[tuple]]:
+    """Order-preserving simplify that only re-scans rows without a cached key.
+
+    ``keys[i]`` is the dedup key of a row that already went through a
+    simplify pass unchanged (so it is GCD-reduced and non-trivial), or
+    ``None`` for a new/modified row.  Rows with a cached key are passed
+    through untouched — this is what makes repeated elimination steps
+    incremental: only the rows an elimination actually touched are scanned
+    again (``FM_STATS.simplify_row_scans`` counts them).
+    """
     seen: set[tuple] = set()
     out_rows: IndexedRows = []
     out_kinds: RowKinds = []
-    for row, is_equality in zip(rows, kinds):
-        row = reduce_integer_row(row)
-        if not any(row[:-1]):
-            constant = row[-1]
-            trivially_true = (constant == 0) if is_equality else (constant >= 0)
-            if trivially_true:
-                continue
-        key = (is_equality, tuple(row))
+    out_keys: list[tuple] = []
+    for row, is_equality, key in zip(rows, kinds, keys):
+        if key is None:
+            FM_STATS.simplify_row_scans += 1
+            row = reduce_integer_row(row)
+            if not any(row[:-1]):
+                constant = row[-1]
+                trivially_true = (constant == 0) if is_equality else (constant >= 0)
+                if trivially_true:
+                    continue
+            key = (is_equality, tuple(row))
         if key in seen:
             continue
         seen.add(key)
         out_rows.append(row)
         out_kinds.append(is_equality)
-    return out_rows, out_kinds
+        out_keys.append(key)
+    return out_rows, out_kinds, out_keys
 
 
 def eliminate_column(
     rows: IndexedRows, kinds: RowKinds, column: int
 ) -> tuple[IndexedRows, RowKinds]:
     """Project the indexed system onto the columns other than *column*."""
+    rows, kinds, _keys = _eliminate_column_cached(
+        rows, kinds, [None] * len(rows), column
+    )
+    return rows, kinds
+
+
+def _eliminate_column_cached(
+    rows: IndexedRows, kinds: RowKinds, keys: list[tuple | None], column: int
+) -> tuple[IndexedRows, RowKinds, list[tuple]]:
     pivot_index: int | None = None
     pivot_magnitude = 0
     for index, (row, is_equality) in enumerate(zip(rows, kinds)):
@@ -173,15 +280,19 @@ def eliminate_column(
                 pivot_index = index
                 pivot_magnitude = magnitude
     if pivot_index is not None:
-        return simplify_rows(*_substitute_with_equality(rows, kinds, pivot_index, column))
-    return simplify_rows(*_fourier_motzkin_step(rows, kinds, column))
+        return _simplify_rows_cached(
+            *_substitute_with_equality(rows, kinds, keys, pivot_index, column)
+        )
+    return _simplify_rows_cached(*_fourier_motzkin_step(rows, kinds, keys, column))
 
 
 def eliminate_columns(
     rows: IndexedRows, kinds: RowKinds, columns: Iterable[int]
 ) -> tuple[IndexedRows, RowKinds]:
     """Eliminate several columns, one at a time (cheapest first)."""
+    started = time.perf_counter()
     remaining = list(columns)
+    keys: list[tuple | None] = [None] * len(rows)
     while remaining:
         # Pick the column whose elimination produces the fewest new rows:
         # 0 when an equality can substitute it away, lower-bound count times
@@ -209,19 +320,34 @@ def eliminate_columns(
                 best_cost = cost
         assert best is not None
         remaining.remove(best)
-        rows, kinds = eliminate_column(rows, kinds, best)
+        rows, kinds, keys = _eliminate_column_cached(rows, kinds, keys, best)
+        FM_STATS.eliminations += 1
+    FM_STATS.elimination_seconds += time.perf_counter() - started
+    FM_STATS.rows_emitted += len(rows)
+    FM_STATS.emitted_nnz += sum(
+        1 for row in rows for value in row[:-1] if value
+    )
+    live_columns = {
+        column for row in rows for column, value in enumerate(row[:-1]) if value
+    }
+    FM_STATS.emitted_cells += len(rows) * len(live_columns)
     return rows, kinds
 
 
 def _substitute_with_equality(
-    rows: IndexedRows, kinds: RowKinds, pivot_index: int, column: int
-) -> tuple[IndexedRows, RowKinds]:
+    rows: IndexedRows,
+    kinds: RowKinds,
+    keys: list[tuple | None],
+    pivot_index: int,
+    column: int,
+) -> tuple[IndexedRows, RowKinds, list[tuple | None]]:
     pivot = rows[pivot_index]
     pivot_coefficient = pivot[column]
     sign = 1 if pivot_coefficient > 0 else -1
     magnitude = abs(pivot_coefficient)
     out_rows: IndexedRows = []
     out_kinds: RowKinds = []
+    out_keys: list[tuple | None] = []
     for index, (row, is_equality) in enumerate(zip(rows, kinds)):
         if index == pivot_index:
             continue
@@ -229,6 +355,7 @@ def _substitute_with_equality(
         if coefficient == 0:
             out_rows.append(row)
             out_kinds.append(is_equality)
+            out_keys.append(keys[index])
             continue
         # magnitude * row  -  sign * coefficient * pivot  cancels the column and
         # keeps the multiplier on the (possibly) inequality row positive.
@@ -237,21 +364,25 @@ def _substitute_with_equality(
             [magnitude * value - factor * p for value, p in zip(row, pivot)]
         )
         out_kinds.append(is_equality)
-    return out_rows, out_kinds
+        out_keys.append(None)
+        FM_STATS.rows_generated += 1
+    return out_rows, out_kinds, out_keys
 
 
 def _fourier_motzkin_step(
-    rows: IndexedRows, kinds: RowKinds, column: int
-) -> tuple[IndexedRows, RowKinds]:
+    rows: IndexedRows, kinds: RowKinds, keys: list[tuple | None], column: int
+) -> tuple[IndexedRows, RowKinds, list[tuple | None]]:
     unrelated_rows: IndexedRows = []
     unrelated_kinds: RowKinds = []
+    unrelated_keys: list[tuple | None] = []
     lower_bounds: IndexedRows = []  # positive coefficient on the column
     upper_bounds: IndexedRows = []  # negative coefficient on the column
-    for row, is_equality in zip(rows, kinds):
+    for row, is_equality, key in zip(rows, kinds, keys):
         coefficient = row[column]
         if coefficient == 0:
             unrelated_rows.append(row)
             unrelated_kinds.append(is_equality)
+            unrelated_keys.append(key)
         elif is_equality:
             raise AssertionError("equalities involving the column are handled by substitution")
         elif coefficient > 0:
@@ -264,4 +395,9 @@ def _fourier_motzkin_step(
         for upper in upper_bounds:
             b = -upper[column]
             combined.append([b * lv + a * uv for lv, uv in zip(lower, upper)])
-    return unrelated_rows + combined, unrelated_kinds + [False] * len(combined)
+    FM_STATS.rows_generated += len(combined)
+    return (
+        unrelated_rows + combined,
+        unrelated_kinds + [False] * len(combined),
+        unrelated_keys + [None] * len(combined),
+    )

@@ -27,6 +27,7 @@ from fractions import Fraction
 
 from ..deps.dependence import Dependence
 from ..ilp.solver import IlpSolver
+from ..polyhedra.sparse_fm import FM_STATS
 
 __all__ = ["SolverContext"]
 
@@ -51,6 +52,12 @@ class SolverContext:
         self._dependence_index: dict[int, int] = {}
         self._dependences: list[Dependence] = []
         self.solve_calls = 0
+        # Snapshot of the process-wide elimination counters: the run's Farkas
+        # linearisations all happen after context construction, so the delta
+        # at statistics() time is this run's elimination work.  (Concurrent
+        # runs in one process bleed into each other's deltas — the counters
+        # are observability, matching the engine statistics' contract.)
+        self._fm_snapshot = FM_STATS.as_dict()
         for dependence in dependences:
             self.intern_dependence(dependence)
 
@@ -93,9 +100,15 @@ class SolverContext:
         return self.solver.solve(problem)
 
     def statistics(self) -> dict[str, int | float]:
-        """Aggregated solver counters for this run (engine + oracle path)."""
+        """Aggregated solver counters for this run (engine + oracle path).
+
+        The ``fm_*`` keys are this run's Fourier–Motzkin/Farkas elimination
+        work: rows generated, rows pruned by the sparse core's redundancy
+        filters, and rows emitted to the ILP encoder.
+        """
         summary = self.solver.statistics_summary()
         summary["solve_calls"] = self.solve_calls
+        summary.update(FM_STATS.delta_since(self._fm_snapshot))
         return summary
 
     def close(self) -> None:

@@ -1,6 +1,15 @@
 """Workload suites: PolyBench, MindSpore custom operators and PolyMage pipelines."""
 
 from . import polybench
+from .deepnest import (
+    DEEPNEST_KERNELS,
+    build_deepnest,
+    deepnest_names,
+    heat_4d,
+    jacobi_4d,
+    sum_reduction_4d,
+    tensor_contract_4d,
+)
 from .custom_ops import (
     CUSTOM_OPERATORS,
     TABLE1_CASES,
@@ -21,6 +30,13 @@ from .polymage import (
 
 __all__ = [
     "polybench",
+    "DEEPNEST_KERNELS",
+    "build_deepnest",
+    "deepnest_names",
+    "jacobi_4d",
+    "heat_4d",
+    "tensor_contract_4d",
+    "sum_reduction_4d",
     "CUSTOM_OPERATORS",
     "TABLE1_CASES",
     "build_case",

@@ -1,0 +1,212 @@
+"""Deep loop nests (>= 4 dimensions) exercising the sparse polyhedral core.
+
+The PolyBench corpus tops out at the four-deep ``heat-3d``/``doitgen``
+nests; the dependence polyhedra of these kernels stay small enough that the
+dense Fourier–Motzkin rows were never the bottleneck.  The kernels here are
+the scale case the sparse core exists for: four and five dimensional
+iteration spaces whose dependence polyhedra carry 10+ dimensions and whose
+Farkas eliminations generate several times more candidate rows than survive
+pruning.  They plug into the same fig2-style sweep machinery as the
+PolyBench registry (``DEEPNEST_KERNELS`` mirrors ``KERNELS``) and are the
+corpus of ``benchmarks/bench_sparse.py`` and the golden drift check in
+``tests/test_sparse_core.py``.
+
+Sizes default small: every kernel is scheduled by a pure-Python ILP stack
+and simulated by a pure-Python cache model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..model import Scop, ScopBuilder
+
+__all__ = [
+    "DEEPNEST_KERNELS",
+    "build_deepnest",
+    "deepnest_names",
+    "jacobi_4d",
+    "heat_4d",
+    "tensor_contract_4d",
+    "sum_reduction_4d",
+]
+
+
+def jacobi_4d(tsteps: int = 3, n: int = 6) -> Scop:
+    """4-D Jacobi nine-point star (time + four space dimensions, 5-deep nest)."""
+    b = ScopBuilder("jacobi-4d", parameters={"TSTEPS": tsteps, "N": n})
+    TSTEPS, N = b.parameters("TSTEPS", "N")
+    b.array("A", N, N, N, N)
+    b.array("B", N, N, N, N)
+    with b.loop("t", 0, TSTEPS) as t:
+        with b.loop("i", 1, N - 1) as i:
+            with b.loop("j", 1, N - 1) as j:
+                with b.loop("k", 1, N - 1) as k:
+                    with b.loop("l", 1, N - 1) as l:
+                        b.statement(
+                            writes=[("B", [i, j, k, l])],
+                            reads=[
+                                ("A", [i, j, k, l]),
+                                ("A", [i - 1, j, k, l]),
+                                ("A", [i + 1, j, k, l]),
+                                ("A", [i, j - 1, k, l]),
+                                ("A", [i, j + 1, k, l]),
+                                ("A", [i, j, k - 1, l]),
+                                ("A", [i, j, k + 1, l]),
+                                ("A", [i, j, k, l - 1]),
+                                ("A", [i, j, k, l + 1]),
+                            ],
+                            text="B[i][j][k][l] = star(A, i, j, k, l);",
+                        )
+        with b.loop("i2", 1, N - 1) as i2:
+            with b.loop("j2", 1, N - 1) as j2:
+                with b.loop("k2", 1, N - 1) as k2:
+                    with b.loop("l2", 1, N - 1) as l2:
+                        b.statement(
+                            writes=[("A", [i2, j2, k2, l2])],
+                            reads=[
+                                ("B", [i2, j2, k2, l2]),
+                                ("B", [i2 - 1, j2, k2, l2]),
+                                ("B", [i2 + 1, j2, k2, l2]),
+                                ("B", [i2, j2 - 1, k2, l2]),
+                                ("B", [i2, j2 + 1, k2, l2]),
+                                ("B", [i2, j2, k2 - 1, l2]),
+                                ("B", [i2, j2, k2 + 1, l2]),
+                                ("B", [i2, j2, k2, l2 - 1]),
+                                ("B", [i2, j2, k2, l2 + 1]),
+                            ],
+                            text="A[i][j][k][l] = star(B, i, j, k, l);",
+                        )
+    return b.build()
+
+
+def heat_4d(tsteps: int = 3, n: int = 6) -> Scop:
+    """heat-3d lifted one dimension: an in-place 4-D diffusion sweep.
+
+    A single statement with a read of the cell it overwrites plus all eight
+    face neighbours — the loop-carried flow/anti mix produces the widest
+    dependence polyhedra of the suite (ten iterator dimensions).
+    """
+    b = ScopBuilder("heat-4d", parameters={"TSTEPS": tsteps, "N": n})
+    TSTEPS, N = b.parameters("TSTEPS", "N")
+    b.array("U", N, N, N, N)
+    with b.loop("t", 0, TSTEPS) as t:
+        with b.loop("i", 1, N - 1) as i:
+            with b.loop("j", 1, N - 1) as j:
+                with b.loop("k", 1, N - 1) as k:
+                    with b.loop("l", 1, N - 1) as l:
+                        b.statement(
+                            writes=[("U", [i, j, k, l])],
+                            reads=[
+                                ("U", [i, j, k, l]),
+                                ("U", [i - 1, j, k, l]),
+                                ("U", [i + 1, j, k, l]),
+                                ("U", [i, j - 1, k, l]),
+                                ("U", [i, j + 1, k, l]),
+                                ("U", [i, j, k - 1, l]),
+                                ("U", [i, j, k + 1, l]),
+                                ("U", [i, j, k, l - 1]),
+                                ("U", [i, j, k, l + 1]),
+                            ],
+                            text="U[i][j][k][l] = diffuse(U, i, j, k, l);",
+                        )
+    return b.build()
+
+
+def tensor_contract_4d(
+    ni: int = 5, nj: int = 5, nk: int = 5, nl: int = 5, nm: int = 5
+) -> Scop:
+    """4-D tensor contraction ``C[i,j,k,l] += A[i,j,m] * B[m,k,l]`` (5-deep)."""
+    b = ScopBuilder(
+        "tc-4d",
+        parameters={"NI": ni, "NJ": nj, "NK": nk, "NL": nl, "NM": nm},
+    )
+    NI, NJ, NK, NL, NM = b.parameters("NI", "NJ", "NK", "NL", "NM")
+    b.array("A", NI, NJ, NM)
+    b.array("B", NM, NK, NL)
+    b.array("C", NI, NJ, NK, NL)
+    with b.loop("i", 0, NI) as i:
+        with b.loop("j", 0, NJ) as j:
+            with b.loop("k", 0, NK) as k:
+                with b.loop("l", 0, NL) as l:
+                    b.statement(
+                        writes=[("C", [i, j, k, l])],
+                        reads=[],
+                        text="C[i][j][k][l] = 0.0;",
+                    )
+                    with b.loop("m", 0, NM) as m:
+                        b.statement(
+                            writes=[("C", [i, j, k, l])],
+                            reads=[
+                                ("C", [i, j, k, l]),
+                                ("A", [i, j, m]),
+                                ("B", [m, k, l]),
+                            ],
+                            text="C[i][j][k][l] += A[i][j][m] * B[m][k][l];",
+                        )
+    return b.build()
+
+
+def sum_reduction_4d(n: int = 5) -> Scop:
+    """Chained 4-D reductions: fold a 4-D tensor one axis at a time.
+
+    The cross-statement flow dependences connect nests of different depths
+    (5, 4 and 3 loops), which is the shape the per-depth dependence
+    splitting produces the most candidate polyhedra for.
+    """
+    b = ScopBuilder("sumred-4d", parameters={"N": n})
+    (N,) = b.parameters("N")
+    b.array("T", N, N, N, N)
+    b.array("S3", N, N, N)
+    b.array("S2", N, N)
+    with b.loop("i", 0, N) as i:
+        with b.loop("j", 0, N) as j:
+            with b.loop("k", 0, N) as k:
+                b.statement(
+                    writes=[("S3", [i, j, k])],
+                    reads=[],
+                    text="S3[i][j][k] = 0.0;",
+                )
+                with b.loop("l", 0, N) as l:
+                    b.statement(
+                        writes=[("S3", [i, j, k])],
+                        reads=[("S3", [i, j, k]), ("T", [i, j, k, l])],
+                        text="S3[i][j][k] += T[i][j][k][l];",
+                    )
+    with b.loop("i2", 0, N) as i2:
+        with b.loop("j2", 0, N) as j2:
+            b.statement(
+                writes=[("S2", [i2, j2])],
+                reads=[],
+                text="S2[i][j] = 0.0;",
+            )
+            with b.loop("k2", 0, N) as k2:
+                b.statement(
+                    writes=[("S2", [i2, j2])],
+                    reads=[("S2", [i2, j2]), ("S3", [i2, j2, k2])],
+                    text="S2[i][j] += S3[i][j][k];",
+                )
+    return b.build()
+
+
+#: Factory registry mirroring ``repro.suites.polybench.KERNELS``.
+DEEPNEST_KERNELS: dict[str, Callable[..., Scop]] = {
+    "jacobi-4d": jacobi_4d,
+    "heat-4d": heat_4d,
+    "tc-4d": tensor_contract_4d,
+    "sumred-4d": sum_reduction_4d,
+}
+
+
+def deepnest_names() -> list[str]:
+    """All registered deep-nest kernel names."""
+    return list(DEEPNEST_KERNELS)
+
+
+def build_deepnest(name: str) -> Scop:
+    """Instantiate a deep-nest kernel at its default (simulator-sized) extent."""
+    if name not in DEEPNEST_KERNELS:
+        raise KeyError(
+            f"unknown deep-nest kernel {name!r}; known: {sorted(DEEPNEST_KERNELS)}"
+        )
+    return DEEPNEST_KERNELS[name]()

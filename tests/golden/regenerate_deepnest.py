@@ -1,0 +1,34 @@
+"""Regenerate the deep-nest golden corpus (``tests/golden/deepnest_schedules.json``).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regenerate_deepnest.py
+
+Run it only when a schedule change on the deep-nest kernels is *intended*;
+commit the JSON diff together with the change.  The pytest in
+``tests/test_sparse_core.py`` fails on any drift against this file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(TESTS_DIR))
+sys.path.insert(0, str(TESTS_DIR.parent / "src"))
+
+from test_sparse_core import DEEPNEST_GOLDEN_PATH, capture_deepnest_corpus  # noqa: E402
+
+
+def main() -> int:
+    corpus = capture_deepnest_corpus()
+    DEEPNEST_GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    DEEPNEST_GOLDEN_PATH.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {DEEPNEST_GOLDEN_PATH}: {len(corpus)} cases")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

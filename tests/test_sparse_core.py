@@ -1,0 +1,539 @@
+"""Differential suite for the sparse polyhedral core.
+
+Three layers of defence:
+
+* a **hypothesis differential**: on random constraint systems the sparse
+  pruning Fourier–Motzkin core and the retained dense core
+  (``REPRO_FM_CORE=dense``) must describe the *same feasible set* — every
+  row of one result is implied by the other system, certified by integer
+  emptiness checks through the ILP engine.  Because the dense core performs
+  no subsumption/Imbert pruning, ``sparse ⊨ dense`` simultaneously proves
+  every pruned row redundant;
+* a **golden drift check** on the new deep-nest kernels
+  (``tests/golden/deepnest_schedules.json``; regenerate with
+  ``PYTHONPATH=src python tests/golden/regenerate_deepnest.py`` only for an
+  intended change);
+* **regression pins**: the incremental dense simplification must only scan
+  rows an elimination step touched (the historical full rescan is the bug
+  the pin guards against), and the batched emptiness probe context must
+  reuse verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.problem import ConstraintSense, LinearProblem
+from repro.ilp.solver import IlpSolver
+from repro.linalg.sparse import SparseRow
+from repro.polyhedra.affine import AffineExpr
+from repro.polyhedra.constraint import AffineConstraint, ConstraintKind
+from repro.polyhedra.emptiness import BatchProbe, find_integer_point
+from repro.polyhedra.farkas import farkas_nonnegative
+from repro.polyhedra.fourier_motzkin import (
+    active_core,
+    constraints_to_rows,
+    eliminate_columns,
+    eliminate_variables,
+)
+from repro.polyhedra.polyhedron import Polyhedron
+from repro.polyhedra.space import Space
+from repro.polyhedra.sparse_fm import FM_STATS, SparseSystem
+from repro.linalg.varspace import VariableSpace
+
+DEEPNEST_GOLDEN_PATH = Path(__file__).parent / "golden" / "deepnest_schedules.json"
+
+VARIABLES = ("x0", "x1", "x2", "x3", "x4")
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+class _ForcedCore:
+    """Context manager pinning REPRO_FM_CORE for the duration of a block."""
+
+    def __init__(self, core: str):
+        self.core = core
+        self._saved: str | None = None
+
+    def __enter__(self):
+        self._saved = os.environ.get("REPRO_FM_CORE")
+        os.environ["REPRO_FM_CORE"] = self.core
+        return self
+
+    def __exit__(self, *exc):
+        if self._saved is None:
+            os.environ.pop("REPRO_FM_CORE", None)
+        else:
+            os.environ["REPRO_FM_CORE"] = self._saved
+        return False
+
+
+def _constraints_from_spec(spec) -> list[AffineConstraint]:
+    constraints = []
+    for coefficients, constant, is_equality in spec:
+        cleaned = {
+            name: Fraction(value) for name, value in coefficients.items() if value
+        }
+        if not cleaned:
+            continue
+        constraints.append(
+            AffineConstraint(
+                AffineExpr(cleaned, Fraction(constant)),
+                ConstraintKind.EQUALITY if is_equality else ConstraintKind.INEQUALITY,
+            )
+        )
+    return constraints
+
+
+def _system_with_extra_is_empty(
+    constraints: list[AffineConstraint], extra: list[AffineConstraint]
+) -> bool:
+    """Integer emptiness of ``constraints ∧ extra`` through the ILP engine."""
+    names = sorted(
+        {
+            name
+            for constraint in constraints + extra
+            for name in constraint.expression.coefficients
+        }
+    )
+    if not names:
+        # Constant-only system: decide by inspection (the ILP layer needs at
+        # least one variable).
+        for constraint in constraints + extra:
+            constant = constraint.expression.constant
+            satisfied = (constant == 0) if constraint.is_equality else (constant >= 0)
+            if not satisfied:
+                return True
+        return False
+    problem = LinearProblem()
+    for name in names:
+        problem.add_variable(name, lower=None, upper=None, is_integer=True)
+    for constraint in constraints + extra:
+        problem.add_constraint(
+            dict(constraint.expression.coefficients),
+            ConstraintSense.EQ if constraint.is_equality else ConstraintSense.GE,
+            -constraint.expression.constant,
+        )
+    return IlpSolver(workers=1).solve(problem) is None
+
+
+def _implies(system: list[AffineConstraint], row: AffineConstraint) -> bool:
+    """True when every integer point of *system* satisfies *row*."""
+    expression = row.expression
+    negations = [
+        AffineConstraint(
+            AffineExpr(
+                {name: -value for name, value in expression.coefficients.items()},
+                -expression.constant - 1,
+            ),
+            ConstraintKind.INEQUALITY,
+        )
+    ]
+    if row.is_equality:
+        negations.append(
+            AffineConstraint(
+                AffineExpr(dict(expression.coefficients), expression.constant - 1),
+                ConstraintKind.INEQUALITY,
+            )
+        )
+    return all(
+        _system_with_extra_is_empty(system, [negation]) for negation in negations
+    )
+
+
+def _mutually_imply(
+    first: list[AffineConstraint], second: list[AffineConstraint]
+) -> bool:
+    return all(_implies(first, row) for row in second) and all(
+        _implies(second, row) for row in first
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis differential: sparse FM == dense FM
+# --------------------------------------------------------------------------- #
+constraint_spec = st.tuples(
+    st.dictionaries(
+        st.sampled_from(VARIABLES),
+        st.integers(min_value=-3, max_value=3),
+        min_size=1,
+        max_size=4,
+    ),
+    st.integers(min_value=-5, max_value=5),
+    st.booleans(),
+)
+
+system_spec = st.lists(constraint_spec, min_size=2, max_size=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    spec=system_spec,
+    eliminate=st.lists(st.sampled_from(VARIABLES), min_size=1, max_size=3, unique=True),
+)
+def test_sparse_elimination_matches_dense(spec, eliminate):
+    constraints = _constraints_from_spec(spec)
+    with _ForcedCore("sparse"):
+        sparse_result = eliminate_variables(constraints, eliminate)
+    with _ForcedCore("dense"):
+        dense_result = eliminate_variables(constraints, eliminate)
+    # Both cores compute the rational shadow of the same projection; their
+    # outputs must describe the same set of integer points.  sparse ⊨ dense
+    # also certifies that every row the sparse core pruned (duplicates,
+    # subsumed rows, Imbert drops) was redundant.
+    assert _mutually_imply(sparse_result, dense_result)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    spec=st.lists(  # pure inequalities: the Fourier–Motzkin fan-out case
+        st.tuples(
+            st.dictionaries(
+                st.sampled_from(VARIABLES),
+                st.integers(min_value=-3, max_value=3),
+                min_size=2,
+                max_size=4,
+            ),
+            st.integers(min_value=-5, max_value=5),
+            st.just(False),
+        ),
+        min_size=3,
+        max_size=9,
+    ),
+    eliminate=st.lists(st.sampled_from(VARIABLES), min_size=2, max_size=3, unique=True),
+)
+def test_sparse_elimination_matches_dense_on_inequality_systems(spec, eliminate):
+    constraints = _constraints_from_spec(spec)
+    with _ForcedCore("sparse"):
+        sparse_result = eliminate_variables(constraints, eliminate)
+    with _ForcedCore("dense"):
+        dense_result = eliminate_variables(constraints, eliminate)
+    assert _mutually_imply(sparse_result, dense_result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    spec=st.lists(constraint_spec, min_size=1, max_size=5),
+    data=st.data(),
+)
+def test_sparse_farkas_matches_dense(spec, data):
+    constraints = _constraints_from_spec(spec)
+    space = Space(("i", "j"), ("N",))
+    renames = dict(zip(VARIABLES, ("i", "j", "N", "i", "j")))
+    renamed = []
+    for constraint in constraints:
+        coefficients: dict[str, Fraction] = {}
+        for name, value in constraint.expression.coefficients.items():
+            target = renames[name]
+            coefficients[target] = coefficients.get(target, Fraction(0)) + value
+        coefficients = {k: v for k, v in coefficients.items() if v}
+        if not coefficients:
+            continue
+        renamed.append(
+            AffineConstraint(
+                AffineExpr(coefficients, constraint.expression.constant),
+                constraint.kind,
+            )
+        )
+    polyhedron = Polyhedron(space, tuple(renamed))
+    templates = {
+        "i": {"a": Fraction(data.draw(st.integers(-2, 2), label="ti"))},
+        "j": {"a": Fraction(1), "b": Fraction(data.draw(st.integers(-2, 2), label="tj"))},
+    }
+    constant = {"c": Fraction(1)}
+    with _ForcedCore("sparse"):
+        sparse_rows = farkas_nonnegative(polyhedron, templates, constant).as_rows()
+    with _ForcedCore("dense"):
+        dense_rows = farkas_nonnegative(polyhedron, templates, constant).as_rows()
+
+    def as_constraints(rows):
+        out = []
+        for coefficients, sense, rhs in rows:
+            out.append(
+                AffineConstraint(
+                    AffineExpr(dict(coefficients), -rhs),
+                    ConstraintKind.EQUALITY if sense == "==" else ConstraintKind.INEQUALITY,
+                )
+            )
+        return out
+
+    assert _mutually_imply(as_constraints(sparse_rows), as_constraints(dense_rows))
+
+
+# --------------------------------------------------------------------------- #
+# SparseRow / SparseSystem units
+# --------------------------------------------------------------------------- #
+class TestSparseRow:
+    def test_dense_roundtrip_reduces_gcd(self):
+        row = SparseRow.from_dense([4, 0, -6, 10])
+        assert row.terms == ((0, 2), (2, -3))
+        assert row.constant == 5
+        assert row.to_dense(3) == [2, 0, -3, 5]
+
+    def test_combine_merges_and_cancels(self):
+        first = SparseRow.from_pairs([(0, 1), (2, 3)], 1)
+        second = SparseRow.from_pairs([(0, -1), (1, 2)], 1)
+        combined = SparseRow.combine(1, first, 1, second)
+        assert combined.terms == ((1, 2), (2, 3))
+        assert combined.constant == 2
+
+    def test_scalar_multiples_are_identical(self):
+        assert SparseRow.from_dense([2, 4, 6]) == SparseRow.from_dense([1, 2, 3])
+
+    def test_rational_terms_clear_denominators(self):
+        row = SparseRow.from_rational_terms({0: Fraction(1, 2), 1: Fraction(1, 3)}, 1)
+        assert row.terms == ((0, 3), (1, 2))
+        assert row.constant == 6
+
+
+class TestSparseSystemPruning:
+    def test_subsumed_inequality_is_dropped(self):
+        system = SparseSystem.from_rows(
+            [
+                SparseRow.from_pairs([(0, 1)], 0),  # x >= 0 (stronger)
+                SparseRow.from_pairs([(0, 1)], 5),  # x >= -5 (weaker)
+            ],
+            [False, False],
+        )
+        live = system.rows()
+        assert len(live) == 1
+        assert live[0][0].constant == 0
+
+    def test_stronger_late_arrival_replaces_weaker(self):
+        system = SparseSystem.from_rows(
+            [
+                SparseRow.from_pairs([(0, 1)], 5),
+                SparseRow.from_pairs([(0, 1)], 0),
+            ],
+            [False, False],
+        )
+        live = system.rows()
+        assert len(live) == 1
+        assert live[0][0].constant == 0
+
+    def test_duplicate_equalities_collapse_either_sign(self):
+        system = SparseSystem.from_rows(
+            [
+                SparseRow.from_pairs([(0, 1), (1, -1)], 0),
+                SparseRow.from_pairs([(0, -1), (1, 1)], 0),
+            ],
+            [True, True],
+        )
+        assert len(system.rows()) == 1
+
+    def test_imbert_prunes_on_fanout_projection(self):
+        # A dense octagon-style system in 3 variables: eliminating two of
+        # them fans out enough combinations that Imbert's bound must fire.
+        before = FM_STATS.as_dict()
+        rows = []
+        values = [1, -1, 2, -2, 3, -3]
+        for a in values:
+            for b in values:
+                rows.append(SparseRow.from_pairs([(0, a), (1, b), (2, 1)], 7))
+                rows.append(SparseRow.from_pairs([(0, b), (1, a), (2, -1)], 9))
+        system = SparseSystem.from_rows(rows, [False] * len(rows))
+        system.eliminate_columns([0, 1])
+        delta = FM_STATS.delta_since(before)
+        assert delta["fm_rows_pruned_imbert"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Incremental simplification (satellite fix regression pin)
+# --------------------------------------------------------------------------- #
+def _box_rows(n_vars: int, width: int) -> tuple[list[list[int]], list[bool]]:
+    constraints = []
+    names = [f"x{i}" for i in range(n_vars)]
+    for index, name in enumerate(names):
+        constraints.append(
+            AffineConstraint(
+                AffineExpr({name: Fraction(1)}, Fraction(0)), ConstraintKind.INEQUALITY
+            )
+        )
+        constraints.append(
+            AffineConstraint(
+                AffineExpr({name: Fraction(-1)}, Fraction(width + index)),
+                ConstraintKind.INEQUALITY,
+            )
+        )
+    space = VariableSpace()
+    return constraints_to_rows(constraints, space)
+
+
+def test_dense_simplify_is_incremental_over_touched_rows():
+    """Eliminating k columns must not re-scan the rows a step left untouched.
+
+    With 8 box variables (16 rows), each eliminated column touches its 2
+    bound rows and produces 1 combination (a trivially-true constant row,
+    dropped on sight).  The historical implementation re-scanned every
+    surviving row after every step (15 + 13 + 11 = 39 scans here); the
+    incremental path scans each row once on first sight (15 at the first
+    step) plus each newly combined row once (1 per later step).
+    """
+    rows, kinds = _box_rows(8, 10)
+    before = FM_STATS.as_dict()
+    out_rows, out_kinds = eliminate_columns(rows, kinds, [0, 1, 2])
+    delta = FM_STATS.delta_since(before)
+    assert delta["fm_simplify_row_scans"] == 17, delta
+    assert len(out_rows) == 10  # the bounds of the 5 surviving variables
+    assert all(not kind for kind in out_kinds)
+
+
+def test_dense_incremental_matches_one_shot_simplify():
+    rows, kinds = _box_rows(5, 4)
+    incremental = eliminate_columns(
+        [list(row) for row in rows], list(kinds), [0, 2]
+    )
+    # The one-column public path simplifies from scratch every call; chaining
+    # it must agree with the incremental multi-column path.
+    from repro.polyhedra.fourier_motzkin import eliminate_column
+
+    step_rows, step_kinds = eliminate_column(
+        [list(row) for row in rows], list(kinds), 0
+    )
+    step_rows, step_kinds = eliminate_column(step_rows, step_kinds, 2)
+    assert incremental == (step_rows, step_kinds)
+
+
+# --------------------------------------------------------------------------- #
+# Batched emptiness probes
+# --------------------------------------------------------------------------- #
+class TestBatchProbe:
+    def _box(self, low: int, high: int) -> Polyhedron:
+        space = Space(("i",), ())
+        return Polyhedron.from_constraints(
+            space,
+            [
+                AffineConstraint(
+                    AffineExpr({"i": Fraction(1)}, Fraction(-low)),
+                    ConstraintKind.INEQUALITY,
+                ),
+                AffineConstraint(
+                    AffineExpr({"i": Fraction(-1)}, Fraction(high)),
+                    ConstraintKind.INEQUALITY,
+                ),
+            ],
+        )
+
+    def test_matches_module_level_probe(self):
+        probe = BatchProbe()
+        feasible = self._box(0, 5)
+        empty = self._box(7, 3)
+        assert probe.find_integer_point(feasible) == find_integer_point(feasible)
+        assert probe.is_integer_empty(empty) == (find_integer_point(empty) is None)
+
+    def test_repeated_polyhedra_reuse_verdicts(self):
+        probe = BatchProbe()
+        box = self._box(0, 5)
+        first = probe.find_integer_point(box)
+        second = probe.find_integer_point(self._box(0, 5))
+        assert first == second
+        statistics = probe.statistics()
+        assert statistics["emptiness_probes"] == 2
+        assert statistics["emptiness_reuse_hits"] == 1
+        assert statistics["emptiness_engine_probes"] == 1
+
+    def test_trivial_contradictions_skip_the_engine(self):
+        probe = BatchProbe()
+        space = Space(("i",), ())
+        contradiction = Polyhedron(
+            space,
+            (
+                AffineConstraint(
+                    AffineExpr({}, Fraction(-1)), ConstraintKind.INEQUALITY
+                ),
+            ),
+        )
+        assert probe.is_integer_empty(contradiction)
+        assert probe.statistics()["emptiness_trivial_hits"] == 1
+        assert probe.statistics()["emptiness_engine_probes"] == 0
+
+
+def test_dependence_analysis_batches_probes():
+    from repro.deps.analysis import DependenceAnalysis
+    from repro.suites.polybench import build_kernel
+
+    analysis = DependenceAnalysis()
+    dependences = analysis.run(build_kernel("jacobi-1d"))
+    assert dependences
+    statistics = analysis.last_probe_statistics
+    assert statistics["emptiness_probes"] > 0
+    # The whole SCoP went through one batched context, and the per-depth
+    # splitting produces repeated candidate polyhedra the cache answers.
+    assert (
+        statistics["emptiness_engine_probes"] + statistics["emptiness_trivial_hits"]
+        <= statistics["emptiness_probes"]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Core selection
+# --------------------------------------------------------------------------- #
+def test_active_core_default_and_override():
+    with _ForcedCore("sparse"):
+        assert active_core() == "sparse"
+    with _ForcedCore("dense"):
+        assert active_core() == "dense"
+    saved = os.environ.pop("REPRO_FM_CORE", None)
+    try:
+        assert active_core() == "sparse"
+        os.environ["REPRO_FM_CORE"] = "typo"
+        with pytest.raises(ValueError):
+            active_core()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FM_CORE", None)
+        else:
+            os.environ["REPRO_FM_CORE"] = saved
+
+
+# --------------------------------------------------------------------------- #
+# Golden drift check on the deep-nest kernels
+# --------------------------------------------------------------------------- #
+def capture_deepnest_corpus() -> dict:
+    """Schedule rows of the deep-nest kernels under the paper's strategies."""
+    from repro.scheduler.core import PolyTOPSScheduler
+    from repro.scheduler.strategies import isl_style, pluto_style
+    from repro.suites.deepnest import build_deepnest
+
+    cases = {
+        "heat-4d": (pluto_style(), isl_style()),
+        "tc-4d": (pluto_style(), isl_style()),
+        "sumred-4d": (pluto_style(),),
+        "jacobi-4d": (pluto_style(),),
+    }
+    corpus: dict[str, dict] = {}
+    for kernel, configs in cases.items():
+        for config in configs:
+            result = PolyTOPSScheduler(build_deepnest(kernel), config).schedule()
+            corpus[f"{kernel}/{config.name}"] = {
+                "fallback": result.fallback_to_original,
+                "statements": {
+                    name: [str(row) for row in statement.rows]
+                    for name, statement in result.schedule.statements.items()
+                },
+            }
+    return corpus
+
+
+def test_deepnest_schedules_match_golden_corpus():
+    assert DEEPNEST_GOLDEN_PATH.exists(), (
+        f"missing golden corpus at {DEEPNEST_GOLDEN_PATH}; generate it with "
+        "`PYTHONPATH=src python tests/golden/regenerate_deepnest.py`"
+    )
+    golden = json.loads(DEEPNEST_GOLDEN_PATH.read_text())
+    current = capture_deepnest_corpus()
+    assert sorted(current) == sorted(golden), "deep-nest golden case list drifted"
+    for case, expected in golden.items():
+        assert current[case] == expected, (
+            f"schedule drift on {case}: if intended, regenerate with "
+            "`PYTHONPATH=src python tests/golden/regenerate_deepnest.py` and "
+            "review the diff"
+        )
