@@ -4,7 +4,8 @@ Usage::
 
     python benchmarks/perf_gate.py BENCH_solver.json \
         [--baseline benchmarks/baselines/solver_baseline.json] \
-        [--threshold 0.25] [--sparse-report BENCH_sparse.json]
+        [--threshold 0.25] [--sparse-report BENCH_sparse.json] \
+        [--service-report BENCH_service.json]
 
 Two checks, in decreasing order of trust:
 
@@ -30,7 +31,11 @@ Overrides, both documented in the README:
   ``python benchmarks/bench_sparse.py --quick --update-baseline`` for the
   sparse-core section (``--sparse-report`` gates ``fm_rows_emitted``,
   ``fm_rows_pruned`` and the batched emptiness-probe counters the same way
-  ``tableau_rows`` is gated, with the regression direction per counter).
+  ``tableau_rows`` is gated, with the regression direction per counter), and
+  ``python benchmarks/bench_service.py --quick --update-baseline`` for the
+  service section (``--service-report`` gates the compilation service's
+  cache counters: hits must not drop, misses and scheduler invocations must
+  not grow — wall latencies and requests/sec stay informational).
 """
 
 from __future__ import annotations
@@ -61,6 +66,15 @@ SPARSE_LOWER_IS_BETTER = (
     "emptiness_engine_probes",
 )
 SPARSE_HIGHER_IS_BETTER = ("fm_rows_pruned",)
+
+#: Deterministic cache counters of the compilation service, gated when a
+#: ``--service-report`` (from ``bench_service.py``) is provided.  The bench's
+#: three passes over a fixed corpus fully determine them: hits regressing
+#: *downward* means a cache layer stopped answering, misses or scheduler
+#: invocations regressing *upward* means work the caches used to absorb is
+#: being redone.
+SERVICE_LOWER_IS_BETTER = ("store_misses", "scheduler_runs")
+SERVICE_HIGHER_IS_BETTER = ("store_hits", "memory_hits", "store_puts")
 
 
 def _machine_signature(report: dict) -> tuple:
@@ -187,6 +201,63 @@ def compare_sparse(report: dict, baseline: dict, threshold: float) -> tuple[list
     return failures, notes
 
 
+def compare_service(report: dict, baseline: dict, threshold: float) -> tuple[list[str], list[str]]:
+    """Gate a ``bench_service.py`` report against the baseline's 'service' section."""
+    failures: list[str] = []
+    notes: list[str] = []
+    section = baseline.get("service")
+    if not section:
+        # Loud, like the sparse gate: silently skipping would turn the
+        # service gate off forever after a bad refresh.
+        failures.append(
+            "baseline has no 'service' section; refresh it with "
+            "`python benchmarks/bench_service.py --quick --update-baseline`"
+        )
+        return failures, notes
+    if report.get("quick") != section.get("quick"):
+        failures.append(
+            "service corpus mismatch (quick=%r vs baseline quick=%r): refresh the "
+            "baseline with the same bench_service.py flags CI uses"
+            % (report.get("quick"), section.get("quick"))
+        )
+        return failures, notes
+    if report.get("mismatches"):
+        failures.append(
+            f"non-identical cached schedules in the service report: {report['mismatches']}"
+        )
+    if report.get("wrong_cache_origins"):
+        failures.append(
+            "compiles answered by an unexpected cache layer: "
+            f"{report['wrong_cache_origins']}"
+        )
+    statistics = report.get("service_statistics") or {}
+    for counter, lower_is_better in [
+        (name, True) for name in SERVICE_LOWER_IS_BETTER
+    ] + [(name, False) for name in SERVICE_HIGHER_IS_BETTER]:
+        before = section.get(counter)
+        after = statistics.get(counter)
+        if before is None or after is None:
+            notes.append(f"service counter {counter!r} missing; skipped")
+            continue
+        if before == 0:
+            line = f"{counter}: {before} -> {after}"
+            if lower_is_better and after > 0:
+                failures.append(f"service regression: {line} grew from a zero baseline")
+            else:
+                notes.append(line)
+            continue
+        ratio = after / before
+        line = f"{counter}: {before} -> {after} ({ratio:.2f}x)"
+        regressed = (
+            ratio > 1.0 + threshold if lower_is_better else ratio < 1.0 - threshold
+        )
+        if regressed:
+            failures.append(f"service regression: {line} exceeds {threshold:.0%}")
+        else:
+            notes.append(line)
+    return failures, notes
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="fresh BENCH_solver.json to check")
@@ -202,6 +273,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="optional BENCH_sparse.json; gates the sparse-core counters "
         "against the baseline's 'sparse' section",
+    )
+    parser.add_argument(
+        "--service-report",
+        default=None,
+        help="optional BENCH_service.json; gates the compilation service's "
+        "cache counters against the baseline's 'service' section",
     )
     arguments = parser.parse_args(argv)
 
@@ -232,6 +309,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         failures.extend(sparse_failures)
         notes.extend(sparse_notes)
+    if arguments.service_report:
+        service_report = json.loads(Path(arguments.service_report).read_text())
+        service_failures, service_notes = compare_service(
+            service_report, baseline, arguments.threshold
+        )
+        failures.extend(service_failures)
+        notes.extend(service_notes)
     for note in notes:
         print(f"perf gate: {note}")
     for failure in failures:

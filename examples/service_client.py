@@ -1,0 +1,79 @@
+"""Scheduling as a service: a compilation server and a client, end to end.
+
+Starts a :class:`repro.service.CompilationServer` on an ephemeral port with a
+persistent SQLite result store, then drives it with the stdlib
+:class:`repro.service.ServiceClient`:
+
+1. a synchronous ``POST /v1/compile`` (a cache *miss* — the pipeline runs);
+2. the same request again (a *memory* hit — no scheduling work at all);
+3. an asynchronous job (``POST /v1/jobs`` + polling) with per-stage progress;
+4. fetching the stored result by its content fingerprint;
+5. the server's session/store/job counters from ``GET /v1/stats``.
+
+Because the scheduler is deterministic, the store file outlives the server:
+restart it with the same ``--store`` path (or point a second server at the
+same file) and the first compile of the same kernel reports ``"store"`` —
+the schedule comes back bit-identical without invoking the scheduler.
+
+Run with ``PYTHONPATH=src python examples/service_client.py``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.scheduler.strategies import pluto_style
+from repro.service import CompilationServer, ServiceClient, SqliteResultStore
+from repro.suites.polybench import build_kernel
+
+
+def main() -> None:
+    store_path = Path(tempfile.mkdtemp(prefix="repro-service-")) / "results.sqlite"
+    server = CompilationServer(
+        store=SqliteResultStore(store_path), machine="Intel1", job_workers=2
+    )
+    server.start_in_thread()
+    print(f"server listening on {server.url} (store: {store_path})")
+
+    client = ServiceClient(server.url)
+    print(f"healthz: {client.healthz()}")
+
+    scop = build_kernel("gemm")
+    config = pluto_style()
+
+    # 1 + 2: synchronous compiles — the second answers from the session cache.
+    first = client.compile(scop, config, machine="Intel1")
+    print(f"\ncompile #1: cache={first.cache!r} fingerprint={first.fingerprint[:12]}...")
+    print(f"  legal={first.result.legal} cycles={first.result.cycles:.0f}")
+    second = client.compile(scop, config, machine="Intel1")
+    print(f"compile #2: cache={second.cache!r} (bit-identical: "
+          f"{second.result.schedule == first.result.schedule})")
+
+    # 3: an asynchronous job with per-stage progress.
+    job = client.submit(build_kernel("2mm"), config, machine="Intel1", label="async-2mm")
+    print(f"\nsubmitted {job['id']} (state={job['state']!r}); polling...")
+    done = client.wait(job["id"])
+    print(f"  state={done['job']['state']!r} cache={done['job']['cache']!r}")
+    for entry in done["job"]["progress"]:
+        print(f"  stage {entry['stage']:<12} {entry['seconds'] * 1e3:8.2f} ms")
+
+    # 4: any client that knows the fingerprint can fetch the stored result.
+    fetched = client.result(first.fingerprint)
+    print(f"\nfetch by fingerprint: cache={fetched.cache!r} "
+          f"(bit-identical: {fetched.result.schedule == first.result.schedule})")
+
+    # 5: the server's counters.
+    stats = client.stats()
+    print(f"\nsession counters: {stats['session']}")
+    print(f"store: entries={stats['store']['entries']} puts={stats['store']['puts']} "
+          f"hits={stats['store']['hits']}")
+    print(f"jobs: {stats['jobs']}")
+
+    server.shutdown()
+    print(f"\nserver stopped; {store_path} still holds the results — a new server "
+          "with the same --store answers these compiles with cache='store'.")
+
+
+if __name__ == "__main__":
+    main()

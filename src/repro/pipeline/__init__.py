@@ -29,9 +29,15 @@ New pipeline stages plug in through the registry (:func:`register_stage`),
 mirroring how cost functions are registered in :mod:`repro.scheduler.cost`.
 """
 
-from .fingerprint import config_fingerprint, parameter_values_key, scop_fingerprint
+from .fingerprint import (
+    config_fingerprint,
+    parameter_values_key,
+    result_fingerprint,
+    scop_fingerprint,
+)
 from .result import CompilationJob, CompilationResult
 from .session import (
+    CompileOutcome,
     Session,
     compile,
     compile_many,
@@ -51,6 +57,7 @@ from .stages import (
 __all__ = [
     "CompilationJob",
     "CompilationResult",
+    "CompileOutcome",
     "Session",
     "compile",
     "compile_many",
@@ -66,4 +73,5 @@ __all__ = [
     "scop_fingerprint",
     "config_fingerprint",
     "parameter_values_key",
+    "result_fingerprint",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "config_fingerprint",
     "machine_fingerprint",
     "parameter_values_key",
+    "result_fingerprint",
 ]
 
 
@@ -110,3 +111,33 @@ def parameter_values_key(
     if parameter_values:
         values.update(parameter_values)
     return tuple(sorted(values.items()))
+
+
+def result_fingerprint(
+    scop: Scop,
+    config: SchedulerConfig,
+    machine=None,
+    parameter_values: Mapping[str, int] | None = None,
+    knobs: tuple = (),
+) -> str:
+    """The content fingerprint identifying one compilation *result*.
+
+    Joins the ``(scop, config, machine)`` fingerprint triple with the
+    concrete parameter values and the session's post-processing knobs: the
+    schedule is a pure function of exactly these inputs, so the fingerprint
+    is a valid shared-cache key across processes, clients and restarts.
+
+    Configurations with a dynamic ``strategy_callback`` have behaviour the
+    static JSON fingerprint cannot capture; callers (the session's persistent
+    store path) must not use this fingerprint for them.
+    """
+    payload = repr(
+        (
+            scop_fingerprint(scop),
+            config_fingerprint(config),
+            machine_fingerprint(machine) if machine is not None else None,
+            parameter_values_key(scop, parameter_values),
+            knobs,
+        )
+    )
+    return hashlib.sha1(payload.encode()).hexdigest()

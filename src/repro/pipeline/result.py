@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping
+from typing import Any, Mapping
 
 from ..deps.dependence import Dependence
 from ..machine.cost_model import PerformanceReport
@@ -13,8 +13,14 @@ from ..model.scop import Scop
 from ..scheduler.config import SchedulerConfig
 from ..scheduler.core import SchedulingResult
 from ..transform.tiling import TilingSpec
+from . import serialize
 
 __all__ = ["CompilationJob", "CompilationResult"]
+
+#: Version of the serialised :class:`CompilationResult` layout.  The
+#: persistent result store and the service wire format both refuse payloads
+#: whose version they do not understand instead of mis-decoding them.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -26,6 +32,50 @@ class CompilationJob:
     machine: MachineModel | str | None = None
     parameter_values: Mapping[str, int] | None = None
     label: str | None = None
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible description of the job.
+
+        The statement bodies of the SCoP (arbitrary callables) are dropped;
+        see :mod:`repro.pipeline.serialize`.  A configuration with a dynamic
+        ``strategy_callback`` cannot be serialised either — its static JSON
+        part is kept and the callback is lost, so callers that rely on
+        callbacks must re-attach them after :meth:`from_dict`.
+        """
+        machine: Any
+        if isinstance(self.machine, MachineModel):
+            machine = {"model": serialize.encode_machine(self.machine)}
+        else:
+            machine = self.machine
+        return {
+            "scop": serialize.encode_scop(self.scop),
+            "config": self.config.to_json() if self.config is not None else None,
+            "machine": machine,
+            "parameter_values": dict(self.parameter_values)
+            if self.parameter_values is not None
+            else None,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompilationJob":
+        config_json = data.get("config")
+        machine_data = data.get("machine")
+        machine: MachineModel | str | None
+        if isinstance(machine_data, Mapping):
+            machine = serialize.decode_machine(machine_data.get("model", machine_data))
+        else:
+            machine = machine_data
+        parameter_values = data.get("parameter_values")
+        return cls(
+            scop=serialize.decode_scop(data["scop"]),
+            config=SchedulerConfig.from_json(config_json) if config_json else None,
+            machine=machine,
+            parameter_values={str(k): int(v) for k, v in parameter_values.items()}
+            if parameter_values is not None
+            else None,
+            label=data.get("label"),
+        )
 
 
 @dataclass
@@ -89,6 +139,75 @@ class CompilationResult:
             dependences=list(self.dependences),
             stage_timings=dict(self.stage_timings),
             diagnostics=list(self.diagnostics),
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible dictionary that round-trips via :meth:`from_dict`.
+
+        Every rational coefficient is serialised exactly (as a fraction
+        string), so ``CompilationResult.from_dict(result.to_dict()) ==
+        result`` holds bit-for-bit — the property the persistent result store
+        and the service wire format rely on to share schedules across
+        processes.  The layout is versioned by ``schema_version``.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "kernel": self.kernel,
+            "configuration": self.configuration,
+            "machine": self.machine,
+            "schedule": serialize.encode_schedule(self.schedule),
+            "scheduling": serialize.encode_scheduling_result(self.scheduling)
+            if self.scheduling is not None
+            else None,
+            "dependences": [serialize.encode_dependence(d) for d in self.dependences],
+            "legal": self.legal,
+            "tiling": serialize.encode_tiling(self.tiling) if self.tiling is not None else None,
+            "generated_c": self.generated_c,
+            "report": serialize.encode_report(self.report) if self.report is not None else None,
+            "cycles": self.cycles,
+            "stage_timings": dict(self.stage_timings),
+            "diagnostics": list(self.diagnostics),
+            "failed": self.failed,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CompilationResult":
+        """Rebuild a result serialised with :meth:`to_dict`.
+
+        Raises :class:`repro.pipeline.serialize.SerializationError` on
+        malformed payloads and on ``schema_version`` mismatches.
+        """
+        version = data.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise serialize.SerializationError(
+                "schema_version_mismatch",
+                f"cannot decode result schema version {version!r} "
+                f"(supported: {RESULT_SCHEMA_VERSION})",
+            )
+        scheduling = data.get("scheduling")
+        tiling = data.get("tiling")
+        report = data.get("report")
+        legal = data.get("legal")
+        cycles = data.get("cycles")
+        return cls(
+            kernel=str(data["kernel"]),
+            configuration=str(data["configuration"]),
+            machine=str(data["machine"]) if data.get("machine") is not None else None,
+            schedule=serialize.decode_schedule(data["schedule"]),
+            scheduling=serialize.decode_scheduling_result(scheduling)
+            if scheduling is not None
+            else None,
+            dependences=[serialize.decode_dependence(d) for d in data.get("dependences", [])],
+            legal=bool(legal) if legal is not None else None,
+            tiling=serialize.decode_tiling(tiling) if tiling is not None else None,
+            generated_c=data.get("generated_c"),
+            report=serialize.decode_report(report) if report is not None else None,
+            cycles=float(cycles) if cycles is not None else None,
+            stage_timings={str(k): float(v) for k, v in data.get("stage_timings", {}).items()},
+            diagnostics=[str(line) for line in data.get("diagnostics", [])],
+            failed=bool(data.get("failed", False)),
+            error=str(data["error"]) if data.get("error") is not None else None,
         )
 
     def speedup_over(self, other: "CompilationResult") -> float:

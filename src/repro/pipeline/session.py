@@ -17,7 +17,7 @@ import dataclasses
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, NamedTuple, Sequence
 
 from ..deps.dependence import Dependence
 from ..machine.machine import MachineModel, machine_by_name
@@ -29,18 +29,41 @@ from .fingerprint import (
     config_fingerprint,
     machine_fingerprint,
     parameter_values_key,
+    result_fingerprint,
     scop_fingerprint,
 )
 from .result import CompilationJob, CompilationResult
 from .stages import DEFAULT_STAGES, PipelineContext, PipelineStage, resolve_stage
 
 __all__ = [
+    "CompileOutcome",
     "Session",
     "compile",
     "compile_many",
     "default_session",
     "reset_default_session",
 ]
+
+#: Called after every pipeline stage of a compile:
+#: ``observer(kernel, label, stage_name, seconds)``.  The compilation server
+#: uses this to stream per-stage progress of asynchronous jobs.
+StageObserver = Callable[[str, str, str, float], None]
+
+
+class CompileOutcome(NamedTuple):
+    """A compilation result plus where it came from.
+
+    ``origin`` is ``"memory"`` (session result cache), ``"store"``
+    (persistent result store — the scheduler was *not* invoked) or ``"miss"``
+    (the pipeline ran).  ``fingerprint`` is the persistent-store key of the
+    result, or ``None`` when the compile is not storable (no store attached,
+    or a configuration with a dynamic strategy callback that no content
+    fingerprint can capture).
+    """
+
+    result: CompilationResult
+    origin: str
+    fingerprint: str | None
 
 
 class Session:
@@ -56,6 +79,15 @@ class Session:
         :class:`PipelineStage` instances.
     apply_wavefront_skewing / use_tiling / tile_sizes:
         Post-processing knobs, identical to the historical experiment harness.
+    store:
+        Optional persistent result store (:class:`repro.service.store.ResultStore`).
+        Results are shared through it across sessions, processes and
+        restarts: a cross-process hit returns the stored schedule without
+        invoking the scheduler at all.
+    stage_observer:
+        Optional callback ``(kernel, label, stage, seconds)`` fired after
+        every pipeline stage (used by the compilation server to report
+        per-stage progress of asynchronous jobs).
     """
 
     def __init__(
@@ -66,6 +98,8 @@ class Session:
         apply_wavefront_skewing: bool = True,
         use_tiling: bool = False,
         tile_sizes: Sequence[int] = (8, 8, 8),
+        store=None,
+        stage_observer: StageObserver | None = None,
     ):
         self.machine = machine_by_name(machine) if isinstance(machine, str) else machine
         self.stages: tuple[PipelineStage, ...] = tuple(
@@ -74,6 +108,8 @@ class Session:
         self.apply_wavefront_skewing = apply_wavefront_skewing
         self.use_tiling = use_tiling
         self.tile_sizes = tuple(tile_sizes)
+        self.store = store
+        self.stage_observer = stage_observer
         self._dependences: dict[str, list[Dependence]] = {}
         self._probe_statistics: dict[str, dict[str, int]] = {}
         self._results: dict[tuple, CompilationResult] = {}
@@ -85,6 +121,15 @@ class Session:
             "emptiness_reuse_hits": 0,
             "result_hits": 0,
             "result_misses": 0,
+            # In-memory vs persistent-store split of the result-cache hits:
+            # ``result_hits == memory_hits + store_hits``.  ``store_skips``
+            # counts compiles that could not use the store (dynamic strategy
+            # callback) while one was attached.
+            "memory_hits": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "store_puts": 0,
+            "store_skips": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -149,24 +194,82 @@ class Session:
         the configuration — and therefore the result cache key — so compiles
         under different worker counts are cached independently.
         """
+        return self.compile_with_origin(
+            scop, config, machine, parameter_values, label, solver_workers
+        ).result
+
+    def compile_with_origin(
+        self,
+        scop: Scop,
+        config: SchedulerConfig | None = None,
+        machine: MachineModel | str | None = None,
+        parameter_values: Mapping[str, int] | None = None,
+        label: str | None = None,
+        solver_workers: int | None = None,
+    ) -> CompileOutcome:
+        """Like :meth:`compile`, also reporting where the result came from.
+
+        The lookup order is: in-memory session cache, then the persistent
+        result store (when one is attached and the configuration has no
+        dynamic strategy callback), then a full pipeline run.  A store hit is
+        inserted into the in-memory cache, so it is paid at most once per
+        fingerprint per session.
+        """
         config = config if config is not None else pluto_style()
         if solver_workers is not None and config.solver_workers != solver_workers:
             config = dataclasses.replace(config, solver_workers=solver_workers)
         machine = self._resolve_machine(machine)
         label = label or config.name
         key = self._result_key(scop, config, machine, parameter_values)
+        storable = self.store is not None and config.strategy_callback is None
+        fingerprint = (
+            result_fingerprint(scop, config, machine, parameter_values, self._knobs())
+            if storable
+            else None
+        )
         with self._lock:
             base = self._results.get(key)
             if base is not None:
                 self.statistics["result_hits"] += 1
-                return self._labeled(key, base, label)
+                self.statistics["memory_hits"] += 1
+                return CompileOutcome(self._labeled(key, base, label), "memory", fingerprint)
+        if storable:
+            stored = self.store.get(fingerprint)
+            if stored is not None:
+                stored.diagnostics.append(
+                    f"cache: persistent store hit ({fingerprint[:12]}); "
+                    "scheduler not invoked"
+                )
+                with self._lock:
+                    self.statistics["result_hits"] += 1
+                    self.statistics["store_hits"] += 1
+                    base = self._results.setdefault(key, stored)
+                    return CompileOutcome(self._labeled(key, base, label), "store", fingerprint)
+        with self._lock:
             self.statistics["result_misses"] += 1
+            if storable:
+                self.statistics["store_misses"] += 1
+            elif self.store is not None:
+                self.statistics["store_skips"] += 1
         result = self._run_pipeline(scop, config, machine, parameter_values, label)
+        with self._lock:
+            counters = (
+                "cache: miss (session memory_hits={memory_hits} "
+                "store_hits={store_hits} misses={result_misses})".format(**self.statistics)
+            )
+        result.diagnostics.append(counters)
+        if storable and not result.failed:
+            # Failed results (over-constrained configs, illegal schedules)
+            # are kept out of the shared store: they are cheap to reproduce
+            # and poisoning other clients with them helps nobody.
+            self.store.put(fingerprint, result)
+            with self._lock:
+                self.statistics["store_puts"] += 1
         with self._lock:
             # Another thread may have raced us to the same key; keep one winner
             # so repeated compiles keep returning the identical object.
             base = self._results.setdefault(key, result)
-            return self._labeled(key, base, label)
+            return CompileOutcome(self._labeled(key, base, label), "miss", fingerprint)
 
     def compile_best(
         self,
@@ -329,7 +432,10 @@ class Session:
         for stage in self.stages:
             start = time.perf_counter()
             stage.run(context)
-            context.stage_timings[stage.name] = time.perf_counter() - start
+            seconds = time.perf_counter() - start
+            context.stage_timings[stage.name] = seconds
+            if self.stage_observer is not None:
+                self.stage_observer(scop.name, label, stage.name, seconds)
         if context.schedule is None:
             context.schedule = scop.original_schedule()
             context.diagnostics.append(

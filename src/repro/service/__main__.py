@@ -1,0 +1,195 @@
+"""Command line of the compilation service: ``python -m repro.service``.
+
+Subcommands::
+
+    serve     run a compilation server (persistent store, token auth)
+    compile   compile a named suite kernel against a running server
+    stats     print a running server's session/store/job counters
+
+Examples::
+
+    # A server with an on-disk store and one all-capability token:
+    python -m repro.service serve --port 8731 --store results.sqlite \\
+        --tokens "dev-token=compile,read,admin"
+
+    # Compile gemm twice; the second call reports "cache": "memory" (same
+    # process) or "store" (a different server process sharing the file):
+    python -m repro.service compile --url http://127.0.0.1:8731 \\
+        --token dev-token --kernel gemm --machine Intel1
+
+``compile`` exits non-zero on service errors and prints a single JSON object
+on success, so shell pipelines (and the CI smoke job) can assert on
+``.cache`` / ``.fingerprint`` / ``.legal`` with ``python -c`` or ``jq``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from ..model.scop import Scop
+from ..scheduler.config import SchedulerConfig
+from ..scheduler.strategies import feautrier_style, pluto_plus_style, pluto_style
+from ..suites.deepnest import DEEPNEST_KERNELS
+from ..suites.polybench import KERNELS as POLYBENCH_KERNELS
+from ..suites.polybench import build_kernel
+from .client import ServiceClient, ServiceClientError
+from .server import CompilationServer, ServiceAuth
+from .store import SqliteResultStore
+
+#: Named, callback-free strategies the CLI can send over the wire.  The isl
+#: strategy is deliberately absent: its dynamic strategy callback cannot be
+#: serialised, so a server-side "isl" would silently behave differently.
+STRATEGIES = {
+    "pluto": pluto_style,
+    "pluto_plus": pluto_plus_style,
+    "feautrier": feautrier_style,
+}
+
+
+def _build_kernel(name: str) -> Scop:
+    if name in POLYBENCH_KERNELS:
+        return build_kernel(name)
+    if name in DEEPNEST_KERNELS:
+        return DEEPNEST_KERNELS[name]()
+    known = sorted(POLYBENCH_KERNELS) + sorted(DEEPNEST_KERNELS)
+    raise SystemExit(f"unknown kernel {name!r}; known: {', '.join(known)}")
+
+
+def _build_config(spec: str) -> SchedulerConfig:
+    if spec in STRATEGIES:
+        return STRATEGIES[spec]()
+    if Path(spec).exists():
+        return SchedulerConfig.from_json(Path(spec))
+    raise SystemExit(
+        f"unknown config {spec!r}; use one of {sorted(STRATEGIES)} or a JSON file path"
+    )
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    store = None
+    if arguments.store:
+        store = SqliteResultStore(
+            arguments.store,
+            ttl=arguments.ttl,
+            memory_entries=arguments.memory_entries,
+        )
+    tokens_spec = arguments.tokens or os.environ.get("REPRO_SERVICE_TOKENS")
+    auth = ServiceAuth.from_spec(tokens_spec)
+    server = CompilationServer(
+        arguments.host,
+        arguments.port,
+        machine=arguments.machine,
+        store=store,
+        auth=auth,
+        job_workers=arguments.job_workers,
+    )
+    host, port = server.address
+    mode = "open (no tokens configured)" if auth.open else f"{len(auth.tokens)} token(s)"
+    print(f"repro.service listening on http://{host}:{port}", flush=True)
+    print(f"  store: {store.path if store else 'none (in-memory session cache only)'}", flush=True)
+    print(f"  auth:  {mode}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_compile(arguments: argparse.Namespace) -> int:
+    client = ServiceClient(arguments.url, token=arguments.token)
+    scop = _build_kernel(arguments.kernel)
+    config = _build_config(arguments.config)
+    try:
+        if arguments.submit:
+            job = client.submit(scop, config, arguments.machine, label=arguments.label)
+            response = client.wait(job["id"])
+            from .wire import decode_result
+
+            result = decode_result(response)
+            cache = response["job"].get("cache")
+            fingerprint = response["job"].get("fingerprint")
+            progress = response["job"].get("progress", [])
+        else:
+            compiled = client.compile(scop, config, arguments.machine, label=arguments.label)
+            result = compiled.result
+            cache = compiled.cache
+            fingerprint = compiled.fingerprint
+            progress = None
+    except ServiceClientError as error:
+        print(json.dumps({"error": {"code": error.code, "message": error.message}}), file=sys.stderr)
+        return 1
+    document = {
+        "kernel": result.kernel,
+        "configuration": result.configuration,
+        "cache": cache,
+        "fingerprint": fingerprint,
+        "legal": result.legal,
+        "cycles": result.cycles,
+        "failed": result.failed,
+        "schedule": {
+            name: [str(row) for row in statement.rows]
+            for name, statement in result.schedule.statements.items()
+        },
+    }
+    if progress is not None:
+        document["progress"] = progress
+    print(json.dumps(document, indent=2))
+    return 0
+
+
+def _cmd_stats(arguments: argparse.Namespace) -> int:
+    client = ServiceClient(arguments.url, token=arguments.token)
+    try:
+        print(json.dumps(client.stats(), indent=2))
+    except ServiceClientError as error:
+        print(json.dumps({"error": {"code": error.code, "message": error.message}}), file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.service", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run a compilation server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8731)
+    serve.add_argument("--store", default=None, help="SQLite result-store file (shared across restarts)")
+    serve.add_argument("--ttl", type=float, default=None, help="result TTL in seconds (default: no expiry)")
+    serve.add_argument("--memory-entries", type=int, default=128, help="size of the store's in-memory LRU front")
+    serve.add_argument("--machine", default=None, help="default machine model name (e.g. Intel1)")
+    serve.add_argument("--job-workers", type=int, default=2, help="async job worker threads")
+    serve.add_argument(
+        "--tokens",
+        default=None,
+        help="auth tokens as 'token=cap1,cap2;token2=...' (default: REPRO_SERVICE_TOKENS, else open)",
+    )
+    serve.set_defaults(run=_cmd_serve)
+
+    compile_ = commands.add_parser("compile", help="compile a suite kernel against a server")
+    compile_.add_argument("--url", default="http://127.0.0.1:8731")
+    compile_.add_argument("--token", default=None)
+    compile_.add_argument("--kernel", required=True, help="PolyBench or deepnest kernel name")
+    compile_.add_argument("--config", default="pluto", help="pluto | pluto_plus | feautrier | path to JSON")
+    compile_.add_argument("--machine", default=None, help="machine model name")
+    compile_.add_argument("--label", default=None)
+    compile_.add_argument("--submit", action="store_true", help="use the async job endpoints (submit + poll)")
+    compile_.set_defaults(run=_cmd_compile)
+
+    stats = commands.add_parser("stats", help="print a server's counters")
+    stats.add_argument("--url", default="http://127.0.0.1:8731")
+    stats.add_argument("--token", default=None)
+    stats.set_defaults(run=_cmd_stats)
+
+    arguments = parser.parse_args(argv)
+    return arguments.run(arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,172 @@
+"""Stdlib HTTP client for the compilation service.
+
+:class:`ServiceClient` speaks the versioned wire format of
+:mod:`repro.service.wire` over ``urllib`` — no dependencies beyond the
+standard library, symmetric with the server.  Error envelopes come back as
+:class:`ServiceClientError` carrying the structured ``code``/``message``/
+``detail`` triple, never a remote traceback.
+
+.. code-block:: python
+
+    client = ServiceClient("http://127.0.0.1:8731", token="dev-token")
+    response = client.compile(scop, config, machine="Intel1")
+    response.result.schedule     # a full CompilationResult, bit-identical
+    response.cache               # "miss", "memory" or "store"
+
+    job = client.submit(scop, config)
+    done = client.wait(job["id"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..machine.machine import MachineModel
+from ..model.scop import Scop
+from ..pipeline.result import CompilationResult
+from ..scheduler.config import SchedulerConfig
+from .wire import encode_compile_request, decode_result
+
+__all__ = ["ServiceClient", "ServiceClientError", "CompileResponse"]
+
+
+class ServiceClientError(Exception):
+    """A structured error reported by the service (or a transport failure)."""
+
+    def __init__(self, status: int, code: str, message: str, detail: str | None = None):
+        super().__init__(f"[{status}/{code}] {message}" + (f": {detail}" if detail else ""))
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class CompileResponse:
+    """A decoded compile response: the result plus its cache provenance."""
+
+    result: CompilationResult
+    cache: str | None
+    fingerprint: str | None
+
+
+class ServiceClient:
+    """A small synchronous client of one compilation server."""
+
+    def __init__(self, base_url: str, token: str | None = None, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: Mapping[str, Any] | None = None) -> dict:
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise self._decode_error(error)
+        except urllib.error.URLError as error:
+            raise ServiceClientError(0, "unreachable", "cannot reach the service", str(error.reason))
+
+    @staticmethod
+    def _decode_error(error: urllib.error.HTTPError) -> ServiceClientError:
+        try:
+            envelope = json.loads(error.read().decode("utf-8")).get("error", {})
+        except Exception:
+            envelope = {}
+        return ServiceClientError(
+            error.code,
+            str(envelope.get("code", "http_error")),
+            str(envelope.get("message", error.reason)),
+            envelope.get("detail"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def compile(
+        self,
+        scop: Scop,
+        config: SchedulerConfig | None = None,
+        machine: MachineModel | str | None = None,
+        parameter_values: Mapping[str, int] | None = None,
+        label: str | None = None,
+    ) -> CompileResponse:
+        """One-shot compilation; the server answers from its caches when it can."""
+        payload = encode_compile_request(scop, config, machine, parameter_values, label)
+        response = self._request("POST", "/v1/compile", payload)
+        return CompileResponse(
+            result=decode_result(response),
+            cache=response.get("cache"),
+            fingerprint=response.get("fingerprint"),
+        )
+
+    def submit(
+        self,
+        scop: Scop,
+        config: SchedulerConfig | None = None,
+        machine: MachineModel | str | None = None,
+        parameter_values: Mapping[str, int] | None = None,
+        label: str | None = None,
+    ) -> dict:
+        """Submit an asynchronous compile; returns the job description."""
+        payload = encode_compile_request(scop, config, machine, parameter_values, label)
+        return self._request("POST", "/v1/jobs", payload)["job"]
+
+    def job(self, job_id: str) -> dict:
+        """The current job description (with ``result`` once done)."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def wait(
+        self, job_id: str, poll_interval: float = 0.05, timeout: float = 120.0
+    ) -> dict:
+        """Poll a job until it finishes; raises on job failure or timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            response = self.job(job_id)
+            state = response["job"]["state"]
+            if state == "done":
+                return response
+            if state == "failed":
+                error = response["job"].get("error", {})
+                raise ServiceClientError(
+                    500,
+                    str(error.get("code", "compile_failed")),
+                    str(error.get("message", "job failed")),
+                )
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(0, "timeout", f"job {job_id} still {state!r}")
+            time.sleep(poll_interval)
+
+    def wait_result(self, job_id: str, **kwargs: Any) -> CompilationResult:
+        """Wait for a job and decode its result."""
+        return decode_result(self.wait(job_id, **kwargs))
+
+    def result(self, fingerprint: str) -> CompileResponse:
+        """Fetch a stored result by its content fingerprint."""
+        response = self._request("GET", f"/v1/results/{fingerprint}")
+        return CompileResponse(
+            result=decode_result(response),
+            cache=response.get("cache"),
+            fingerprint=response.get("fingerprint"),
+        )

@@ -1,0 +1,522 @@
+"""The compilation server: an HTTP/JSON front door over :class:`Session`.
+
+Layering (mirroring the auth/capability + route-error shape of production
+HTTP services):
+
+* :class:`ServiceAuth` — token-based authentication with per-route
+  *capability* checks (``compile``, ``read``, ``admin``).  Unknown or missing
+  tokens are a 401, a known token lacking the route's capability is a 403.
+* :func:`with_route_errors` — every route handler runs inside one wrapper
+  that turns :class:`ServiceError`/:class:`WireError` into structured
+  ``{"error": {"code", "message", "detail"}}`` envelopes and anything else
+  into an opaque 500; tracebacks never reach a client.
+* :class:`CompileService` — the routes' business logic against one shared
+  :class:`Session` (optionally backed by a persistent
+  :class:`~repro.service.store.ResultStore`) and a :class:`JobManager` worker
+  pool for asynchronous submissions with per-stage progress.
+* :class:`CompilationServer` — stdlib ``ThreadingHTTPServer`` wiring; no
+  dependencies outside the standard library.
+
+Endpoints (all JSON)::
+
+    GET  /v1/healthz              liveness (unauthenticated)
+    POST /v1/compile              one-shot compile, cache-aware      [compile]
+    POST /v1/jobs                 submit an asynchronous compile     [compile]
+    GET  /v1/jobs/{id}            job state, progress, result        [read]
+    GET  /v1/results/{fp}         stored result by fingerprint       [read]
+    GET  /v1/stats                session + store + job counters     [admin]
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from ..machine.machine import MachineModel
+from ..pipeline.session import Session
+from .wire import WIRE_VERSION, WireError, decode_compile_request, encode_result
+
+__all__ = [
+    "CAPABILITIES",
+    "ServiceAuth",
+    "ServiceError",
+    "CompileService",
+    "CompilationServer",
+    "JobManager",
+    "with_route_errors",
+]
+
+#: The capability vocabulary checked per route.
+CAPABILITIES = ("compile", "read", "admin")
+
+
+class ServiceError(Exception):
+    """An error the service reports as a structured envelope, not a traceback."""
+
+    def __init__(self, status: int, code: str, message: str, detail: str | None = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = detail
+
+    def envelope(self) -> dict:
+        error: dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.detail is not None:
+            error["detail"] = self.detail
+        return {"error": error}
+
+
+# --------------------------------------------------------------------------- #
+# Authentication / capabilities
+# --------------------------------------------------------------------------- #
+class ServiceAuth:
+    """Static token -> capability-set authentication.
+
+    ``tokens`` maps bearer tokens to iterables of capability names.  An empty
+    mapping means the server runs *open* (every request gets every
+    capability) — the mode used by local examples; anything shared should
+    configure tokens, e.g. via :meth:`from_spec`.
+    """
+
+    def __init__(self, tokens: Mapping[str, Any] | None = None):
+        self.tokens: dict[str, frozenset[str]] = {}
+        for token, capabilities in (tokens or {}).items():
+            if isinstance(capabilities, str):
+                capabilities = capabilities.split(",")
+            capability_set = frozenset(c.strip() for c in capabilities if str(c).strip())
+            unknown = capability_set - set(CAPABILITIES)
+            if unknown:
+                raise ValueError(
+                    f"unknown capabilities {sorted(unknown)}; known: {list(CAPABILITIES)}"
+                )
+            self.tokens[str(token)] = capability_set
+
+    @classmethod
+    def from_spec(cls, spec: str | None) -> "ServiceAuth":
+        """Parse ``"token=cap1,cap2;token2=cap"`` (the CLI/env format)."""
+        tokens: dict[str, str] = {}
+        for chunk in (spec or "").split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "=" not in chunk:
+                raise ValueError(f"bad token spec {chunk!r}; expected token=cap1,cap2")
+            token, _, capabilities = chunk.partition("=")
+            tokens[token.strip()] = capabilities
+        return cls(tokens)
+
+    @property
+    def open(self) -> bool:
+        return not self.tokens
+
+    def authenticate(self, token: str | None) -> frozenset[str]:
+        """The capability set of *token*; raises 401 for unknown/missing tokens."""
+        if self.open:
+            return frozenset(CAPABILITIES)
+        if token is None:
+            raise ServiceError(
+                401,
+                "unauthorized",
+                "authentication required",
+                "send 'Authorization: Bearer <token>' or an 'X-API-Token' header",
+            )
+        capabilities = self.tokens.get(token)
+        if capabilities is None:
+            raise ServiceError(401, "unauthorized", "unknown token")
+        return capabilities
+
+    def require_capability(self, capabilities: frozenset[str], needed: str) -> None:
+        """Raise 403 unless *needed* is among the authenticated capabilities."""
+        if needed not in capabilities:
+            raise ServiceError(
+                403,
+                "forbidden",
+                f"token lacks the {needed!r} capability",
+                f"granted: {sorted(capabilities)}",
+            )
+
+
+def with_route_errors(handler: Callable[..., tuple[int, dict]]) -> Callable[..., tuple[int, dict]]:
+    """Run a route handler under the structured-error contract.
+
+    :class:`ServiceError` keeps its status and envelope, :class:`WireError`
+    becomes a 400 with the wire code, and any other exception becomes an
+    opaque 500 ``internal`` envelope — clients never see a traceback.
+    """
+
+    @functools.wraps(handler)
+    def wrapped(*args: Any, **kwargs: Any) -> tuple[int, dict]:
+        try:
+            return handler(*args, **kwargs)
+        except ServiceError as error:
+            return error.status, error.envelope()
+        except WireError as error:
+            return 400, ServiceError(400, error.code, error.message, error.detail).envelope()
+        except Exception as error:  # the wrapper is the traceback firewall
+            return (
+                500,
+                ServiceError(
+                    500, "internal", "internal server error", f"{type(error).__name__}: {error}"
+                ).envelope(),
+            )
+
+    return wrapped
+
+
+# --------------------------------------------------------------------------- #
+# Asynchronous jobs
+# --------------------------------------------------------------------------- #
+@dataclass
+class Job:
+    """One asynchronous compilation and its observable lifecycle."""
+
+    id: str
+    kernel: str
+    label: str
+    state: str = "queued"  # queued -> running -> done | failed
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    progress: list[dict] = field(default_factory=list)
+    result: Any = None
+    origin: str | None = None
+    fingerprint: str | None = None
+    error: dict | None = None
+
+    def describe(self) -> dict:
+        description: dict[str, Any] = {
+            "id": self.id,
+            "kernel": self.kernel,
+            "label": self.label,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            # Per-stage progress, from the stage timings the pipeline records
+            # as each stage finishes.
+            "progress": list(self.progress),
+        }
+        if self.error is not None:
+            description["error"] = self.error
+        if self.state == "done":
+            description["cache"] = self.origin
+            description["fingerprint"] = self.fingerprint
+        return description
+
+
+class JobManager:
+    """A bounded worker pool compiling submitted jobs asynchronously.
+
+    Per-stage progress is captured through the session's ``stage_observer``:
+    each worker thread marks which job it is serving in a thread-local, and
+    the observer appends the finished stage (name + seconds) to that job.
+    """
+
+    def __init__(self, session: Session, workers: int = 2):
+        self.session = session
+        self._pool = ThreadPoolExecutor(max_workers=max(1, workers), thread_name_prefix="repro-job")
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._current = threading.local()
+        self._counter = itertools.count(1)
+        if session.stage_observer is None:
+            session.stage_observer = self._observe_stage
+        self.statistics = {"submitted": 0, "completed": 0, "failed": 0}
+
+    def _observe_stage(self, kernel: str, label: str, stage: str, seconds: float) -> None:
+        job: Job | None = getattr(self._current, "job", None)
+        if job is not None:
+            job.progress.append({"stage": stage, "seconds": seconds})
+
+    def submit(self, request: Mapping[str, Any]) -> Job:
+        job = Job(
+            id=f"job-{next(self._counter)}-{uuid.uuid4().hex[:8]}",
+            kernel=request["scop"].name,
+            label=request["label"]
+            or (request["config"].name if request["config"] is not None else "pluto"),
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self.statistics["submitted"] += 1
+        self._pool.submit(self._run, job, dict(request))
+        return job
+
+    def _run(self, job: Job, request: dict) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        self._current.job = job
+        try:
+            outcome = self.session.compile_with_origin(
+                request["scop"],
+                request["config"],
+                request["machine"],
+                request["parameter_values"],
+                request["label"],
+            )
+            job.result = outcome.result
+            job.origin = outcome.origin
+            job.fingerprint = outcome.fingerprint
+            job.state = "done"
+            with self._lock:
+                self.statistics["completed"] += 1
+        except Exception as error:
+            job.error = {"code": "compile_failed", "message": f"{type(error).__name__}: {error}"}
+            job.state = "failed"
+            with self._lock:
+                self.statistics["failed"] += 1
+        finally:
+            self._current.job = None
+            job.finished_at = time.time()
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(404, "job_not_found", f"no job {job_id!r}")
+        return job
+
+    def stats(self) -> dict:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {**self.statistics, "states": states}
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+# --------------------------------------------------------------------------- #
+# The service (route logic, HTTP-free and unit-testable)
+# --------------------------------------------------------------------------- #
+class CompileService:
+    """Business logic of the routes, independent of the HTTP plumbing."""
+
+    def __init__(
+        self,
+        machine: MachineModel | str | None = None,
+        *,
+        store=None,
+        auth: ServiceAuth | None = None,
+        job_workers: int = 2,
+        session: Session | None = None,
+    ):
+        self.session = session if session is not None else Session(machine, store=store)
+        self.store = self.session.store
+        self.auth = auth if auth is not None else ServiceAuth()
+        self.jobs = JobManager(self.session, workers=job_workers)
+        self.started_at = time.time()
+
+    # -- routes ---------------------------------------------------------- #
+    @with_route_errors
+    def handle_healthz(self, token: str | None) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "wire_version": WIRE_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    @with_route_errors
+    def handle_compile(self, token: str | None, payload: Any) -> tuple[int, dict]:
+        capabilities = self.auth.authenticate(token)
+        self.auth.require_capability(capabilities, "compile")
+        request = decode_compile_request(payload)
+        outcome = self.session.compile_with_origin(
+            request["scop"],
+            request["config"],
+            request["machine"],
+            request["parameter_values"],
+            request["label"],
+        )
+        return 200, encode_result(
+            outcome.result, cache=outcome.origin, fingerprint=outcome.fingerprint
+        )
+
+    @with_route_errors
+    def handle_submit_job(self, token: str | None, payload: Any) -> tuple[int, dict]:
+        capabilities = self.auth.authenticate(token)
+        self.auth.require_capability(capabilities, "compile")
+        request = decode_compile_request(payload)
+        job = self.jobs.submit(request)
+        return 202, {"wire_version": WIRE_VERSION, "job": job.describe()}
+
+    @with_route_errors
+    def handle_job_status(self, token: str | None, job_id: str) -> tuple[int, dict]:
+        capabilities = self.auth.authenticate(token)
+        self.auth.require_capability(capabilities, "read")
+        job = self.jobs.get(job_id)
+        response: dict[str, Any] = {"wire_version": WIRE_VERSION, "job": job.describe()}
+        if job.state == "done" and job.result is not None:
+            response["result"] = job.result.to_dict()
+        return 200, response
+
+    @with_route_errors
+    def handle_result(self, token: str | None, fingerprint: str) -> tuple[int, dict]:
+        capabilities = self.auth.authenticate(token)
+        self.auth.require_capability(capabilities, "read")
+        if self.store is None:
+            raise ServiceError(
+                404, "no_store", "this server has no persistent result store attached"
+            )
+        result = self.store.get(fingerprint)
+        if result is None:
+            raise ServiceError(
+                404, "result_not_found", f"no stored result for fingerprint {fingerprint!r}"
+            )
+        return 200, encode_result(result, cache="store", fingerprint=fingerprint)
+
+    @with_route_errors
+    def handle_stats(self, token: str | None) -> tuple[int, dict]:
+        capabilities = self.auth.authenticate(token)
+        self.auth.require_capability(capabilities, "admin")
+        return 200, {
+            "wire_version": WIRE_VERSION,
+            "session": dict(self.session.statistics),
+            "cached_results": self.session.cached_results,
+            "store": self.store.stats() if self.store is not None else None,
+            "jobs": self.jobs.stats(),
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def shutdown(self) -> None:
+        self.jobs.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# HTTP plumbing
+# --------------------------------------------------------------------------- #
+class _ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
+    """Thin HTTP adapter: routing, body parsing, token extraction."""
+
+    service: CompileService  # injected by CompilationServer via subclassing
+    protocol_version = "HTTP/1.1"
+
+    # -- helpers --------------------------------------------------------- #
+    def _token(self) -> str | None:
+        authorization = self.headers.get("Authorization", "")
+        if authorization.startswith("Bearer "):
+            return authorization[len("Bearer ") :].strip()
+        return self.headers.get("X-API-Token")
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError(400, "empty_body", "request body is empty")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(400, "invalid_json", "request body is not valid JSON", str(error))
+
+    def _respond(self, status: int, document: dict) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep test/CI output clean; stats carry the counters
+
+    # -- routing --------------------------------------------------------- #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        token = self._token()
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/healthz":
+            self._respond(*self.service.handle_healthz(token))
+        elif path == "/v1/stats":
+            self._respond(*self.service.handle_stats(token))
+        elif path.startswith("/v1/jobs/"):
+            self._respond(*self.service.handle_job_status(token, path[len("/v1/jobs/") :]))
+        elif path.startswith("/v1/results/"):
+            self._respond(*self.service.handle_result(token, path[len("/v1/results/") :]))
+        else:
+            self._respond(
+                404, ServiceError(404, "not_found", f"no route GET {path}").envelope()
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        token = self._token()
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            payload = self._read_json()
+        except ServiceError as error:
+            self._respond(error.status, error.envelope())
+            return
+        if path == "/v1/compile":
+            self._respond(*self.service.handle_compile(token, payload))
+        elif path == "/v1/jobs":
+            self._respond(*self.service.handle_submit_job(token, payload))
+        else:
+            self._respond(
+                404, ServiceError(404, "not_found", f"no route POST {path}").envelope()
+            )
+
+
+class CompilationServer:
+    """A threaded HTTP compilation server around one :class:`CompileService`.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start_in_thread` runs
+    the accept loop on a daemon thread and returns immediately.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        machine: MachineModel | str | None = None,
+        store=None,
+        auth: ServiceAuth | None = None,
+        job_workers: int = 2,
+        session: Session | None = None,
+    ):
+        self.service = CompileService(
+            machine, store=store, auth=auth, job_workers=job_workers, session=session
+        )
+        service = self.service
+
+        class Handler(_ServiceHTTPRequestHandler):
+            pass
+
+        Handler.service = service
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+        self.httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def start_in_thread(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True, name="repro-service")
+        thread.start()
+        self._thread = thread
+        return thread
+
+    def shutdown(self) -> None:
+        self.service.shutdown()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -1,0 +1,316 @@
+"""Persistent, fingerprint-keyed compilation-result store.
+
+The scheduler is deterministic: a :class:`~repro.pipeline.result.CompilationResult`
+is a pure function of the ``(scop, config, machine, parameter values, knobs)``
+fingerprint (:func:`repro.pipeline.fingerprint.result_fingerprint`).  That
+makes results perfectly shareable — across threads, across server processes
+and across restarts.  This module provides the shared medium:
+
+* :class:`ResultStore` — the small interface (``get``/``put``/``evict``/
+  ``stats``) the session and the service front door program against;
+* :class:`SqliteResultStore` — the default implementation: one SQLite file
+  (stdlib ``sqlite3``, WAL mode so concurrent server processes can share it),
+  rows carrying the JSON-serialised result plus schema-version and TTL
+  columns, fronted by a bounded in-memory LRU of payloads so repeated hits on
+  hot fingerprints skip the database entirely;
+* :class:`MemoryResultStore` — the same contract without a file, for tests
+  and ephemeral servers.
+
+Entries whose ``schema_version`` does not match the running code are treated
+as misses and evicted (an old server can never mis-decode a new payload, and
+vice versa); expired entries are filtered on read and swept opportunistically
+on write.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Protocol, runtime_checkable
+
+from ..pipeline.result import RESULT_SCHEMA_VERSION, CompilationResult
+from ..pipeline.serialize import SerializationError
+
+__all__ = [
+    "ResultStore",
+    "SqliteResultStore",
+    "MemoryResultStore",
+    "StoreEntry",
+]
+
+
+@runtime_checkable
+class ResultStore(Protocol):
+    """What :class:`repro.pipeline.Session` needs from a persistent store."""
+
+    def get(self, fingerprint: str) -> CompilationResult | None:
+        """The stored result for *fingerprint*, or ``None`` (miss/expired)."""
+
+    def put(self, fingerprint: str, result: CompilationResult, ttl: float | None = None) -> None:
+        """Store *result* under *fingerprint* (overwrites an existing entry)."""
+
+    def evict(self, fingerprint: str | None = None) -> int:
+        """Evict one fingerprint (or everything when ``None``); returns the count."""
+
+    def stats(self) -> dict:
+        """Counters and configuration of the store (hits, misses, entries, ...)."""
+
+
+class StoreEntry:
+    """One decoded row: payload text plus the expiry used by the LRU front."""
+
+    __slots__ = ("payload", "expires_at")
+
+    def __init__(self, payload: str, expires_at: float | None):
+        self.payload = payload
+        self.expires_at = expires_at
+
+
+class SqliteResultStore:
+    """SQLite-backed TTL cache of serialised compilation results.
+
+    Parameters
+    ----------
+    path:
+        Database file (created on first use).  ``":memory:"`` gives a
+        process-private store.
+    ttl:
+        Default time-to-live in seconds for new entries (``None`` = never
+        expires).  ``put(..., ttl=...)`` overrides per entry.
+    memory_entries:
+        Size of the in-memory LRU payload front (0 disables it).
+    clock:
+        Injectable time source (tests pin it to fake clocks).
+    """
+
+    def __init__(
+        self,
+        path: str | Path = ":memory:",
+        *,
+        ttl: float | None = None,
+        memory_entries: int = 128,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.path = str(path)
+        self.default_ttl = ttl
+        self.memory_entries = max(0, int(memory_entries))
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._lru: OrderedDict[str, StoreEntry] = OrderedDict()
+        self._connection = sqlite3.connect(self.path, check_same_thread=False)
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute(
+            """
+            CREATE TABLE IF NOT EXISTS results (
+                fingerprint TEXT PRIMARY KEY,
+                schema_version INTEGER NOT NULL,
+                payload TEXT NOT NULL,
+                created_at REAL NOT NULL,
+                expires_at REAL
+            )
+            """
+        )
+        self._connection.commit()
+        self.statistics = {
+            "hits": 0,
+            "lru_hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "evictions": 0,
+            "expired": 0,
+            "schema_mismatches": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # ResultStore interface
+    # ------------------------------------------------------------------ #
+    def get(self, fingerprint: str) -> CompilationResult | None:
+        now = self._clock()
+        with self._lock:
+            entry = self._lru.get(fingerprint)
+            if entry is not None:
+                if entry.expires_at is not None and entry.expires_at <= now:
+                    del self._lru[fingerprint]
+                else:
+                    self._lru.move_to_end(fingerprint)
+                    self.statistics["hits"] += 1
+                    self.statistics["lru_hits"] += 1
+                    return self._decode(fingerprint, entry.payload)
+            row = self._connection.execute(
+                "SELECT schema_version, payload, expires_at FROM results WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if row is None:
+                self.statistics["misses"] += 1
+                return None
+            schema_version, payload, expires_at = row
+            if expires_at is not None and expires_at <= now:
+                self._delete(fingerprint)
+                self.statistics["expired"] += 1
+                self.statistics["misses"] += 1
+                return None
+            if schema_version != RESULT_SCHEMA_VERSION:
+                # A payload written by an incompatible version of the code is
+                # useless to us and to everyone after us: drop it.
+                self._delete(fingerprint)
+                self.statistics["schema_mismatches"] += 1
+                self.statistics["misses"] += 1
+                return None
+            result = self._decode(fingerprint, payload)
+            if result is None:
+                self.statistics["misses"] += 1
+                return None
+            self._remember(fingerprint, StoreEntry(payload, expires_at))
+            self.statistics["hits"] += 1
+            return result
+
+    def put(
+        self, fingerprint: str, result: CompilationResult, ttl: float | None = None
+    ) -> None:
+        now = self._clock()
+        ttl = ttl if ttl is not None else self.default_ttl
+        expires_at = now + ttl if ttl is not None else None
+        payload = json.dumps(result.to_dict(), sort_keys=True)
+        with self._lock:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO results "
+                "(fingerprint, schema_version, payload, created_at, expires_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (fingerprint, RESULT_SCHEMA_VERSION, payload, now, expires_at),
+            )
+            # Opportunistic sweep: writes are the rare operation, so they pay
+            # for keeping the file from accumulating dead rows.
+            swept = self._connection.execute(
+                "DELETE FROM results WHERE expires_at IS NOT NULL AND expires_at <= ?",
+                (now,),
+            ).rowcount
+            self._connection.commit()
+            if swept:
+                self.statistics["expired"] += swept
+            self.statistics["puts"] += 1
+            self._remember(fingerprint, StoreEntry(payload, expires_at))
+
+    def evict(self, fingerprint: str | None = None) -> int:
+        with self._lock:
+            if fingerprint is None:
+                count = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+                self._connection.execute("DELETE FROM results")
+                self._connection.commit()
+                self._lru.clear()
+            else:
+                count = self._delete(fingerprint)
+            self.statistics["evictions"] += count
+            return count
+
+    def stats(self) -> dict:
+        with self._lock:
+            entries = self._connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+            return {
+                "backend": "sqlite",
+                "path": self.path,
+                "entries": entries,
+                "lru_entries": len(self._lru),
+                "memory_entries": self.memory_entries,
+                "default_ttl": self.default_ttl,
+                "schema_version": RESULT_SCHEMA_VERSION,
+                **self.statistics,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+            self._lru.clear()
+
+    # ------------------------------------------------------------------ #
+    # Internals (lock held)
+    # ------------------------------------------------------------------ #
+    def _delete(self, fingerprint: str) -> int:
+        count = self._connection.execute(
+            "DELETE FROM results WHERE fingerprint = ?", (fingerprint,)
+        ).rowcount
+        self._connection.commit()
+        self._lru.pop(fingerprint, None)
+        return count
+
+    def _remember(self, fingerprint: str, entry: StoreEntry) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._lru[fingerprint] = entry
+        self._lru.move_to_end(fingerprint)
+        while len(self._lru) > self.memory_entries:
+            self._lru.popitem(last=False)
+
+    def _decode(self, fingerprint: str, payload: str) -> CompilationResult | None:
+        try:
+            return CompilationResult.from_dict(json.loads(payload))
+        except (json.JSONDecodeError, SerializationError, KeyError, TypeError, ValueError):
+            # A corrupt row must degrade to a miss, never crash a compile.
+            self._delete(fingerprint)
+            return None
+
+
+class MemoryResultStore:
+    """In-process :class:`ResultStore` with the same TTL/versioning contract.
+
+    Payloads are stored serialised (like the SQLite rows) so that ``get``
+    returns a fresh object every time — callers can mutate their copy without
+    corrupting the store, exactly as with the on-disk backend.
+    """
+
+    def __init__(self, *, ttl: float | None = None, clock: Callable[[], float] = time.time):
+        self.default_ttl = ttl
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: dict[str, StoreEntry] = {}
+        self.statistics = {"hits": 0, "misses": 0, "puts": 0, "evictions": 0, "expired": 0}
+
+    def get(self, fingerprint: str) -> CompilationResult | None:
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.statistics["misses"] += 1
+                return None
+            if entry.expires_at is not None and entry.expires_at <= now:
+                del self._entries[fingerprint]
+                self.statistics["expired"] += 1
+                self.statistics["misses"] += 1
+                return None
+            self.statistics["hits"] += 1
+            return CompilationResult.from_dict(json.loads(entry.payload))
+
+    def put(self, fingerprint: str, result: CompilationResult, ttl: float | None = None) -> None:
+        ttl = ttl if ttl is not None else self.default_ttl
+        expires_at = self._clock() + ttl if ttl is not None else None
+        with self._lock:
+            self._entries[fingerprint] = StoreEntry(
+                json.dumps(result.to_dict(), sort_keys=True), expires_at
+            )
+            self.statistics["puts"] += 1
+
+    def evict(self, fingerprint: str | None = None) -> int:
+        with self._lock:
+            if fingerprint is None:
+                count = len(self._entries)
+                self._entries.clear()
+            else:
+                count = 1 if self._entries.pop(fingerprint, None) is not None else 0
+            self.statistics["evictions"] += count
+            return count
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "backend": "memory",
+                "entries": len(self._entries),
+                "default_ttl": self.default_ttl,
+                "schema_version": RESULT_SCHEMA_VERSION,
+                **self.statistics,
+            }
+
+    def close(self) -> None:
+        self.evict()

@@ -1,0 +1,539 @@
+"""Tests of the compilation service: store, wire format, HTTP front door.
+
+Covers the persistent result store (TTL expiry, eviction, schema-version
+mismatch, LRU front), the session's store integration (cross-session hits
+with zero scheduler invocations), the wire format's explicit error codes,
+the token/capability auth paths (401/403), structured error envelopes on
+malformed payloads, the async job lifecycle, and — in a real two-process
+test — bit-identical results served from a shared store file.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sqlite3
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+# Load the kernel builders from this directory's conftest by path: a bare
+# ``import conftest`` can resolve to benchmarks/conftest.py when the whole
+# repository is collected in one run.
+_spec = importlib.util.spec_from_file_location(
+    "_service_test_kernels", Path(__file__).with_name("conftest.py")
+)
+_kernels = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_kernels)
+build_gemm = _kernels.build_gemm
+build_jacobi_1d = _kernels.build_jacobi_1d
+build_listing1 = _kernels.build_listing1
+from repro.model.schedule import Schedule, StatementSchedule
+from repro.pipeline import CompilationJob, Session, result_fingerprint
+from repro.pipeline.result import RESULT_SCHEMA_VERSION, CompilationResult
+from repro.pipeline.serialize import SerializationError, encode_scop
+from repro.polyhedra.affine import AffineExpr
+from repro.scheduler.strategies import isl_style, pluto_style
+from repro.service import (
+    CompilationServer,
+    MemoryResultStore,
+    ServiceAuth,
+    ServiceClient,
+    ServiceClientError,
+    SqliteResultStore,
+    WireError,
+    decode_compile_request,
+    encode_compile_request,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# --------------------------------------------------------------------------- #
+# Result serialisation round trips
+# --------------------------------------------------------------------------- #
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def compiled_gemm() -> CompilationResult:
+    return Session(machine="Intel1").compile(build_gemm(6, 6, 6))
+
+
+def test_result_round_trip_on_real_compile(compiled_gemm):
+    payload = json.dumps(compiled_gemm.to_dict(), sort_keys=True)
+    decoded = CompilationResult.from_dict(json.loads(payload))
+    assert decoded == compiled_gemm
+    assert decoded.schedule == compiled_gemm.schedule
+    assert decoded.report.cycles == compiled_gemm.report.cycles
+
+
+def test_compilation_job_round_trip():
+    job = CompilationJob(
+        scop=build_listing1(),
+        config=pluto_style(),
+        machine="Intel1",
+        parameter_values={"N": 8},
+        label="probe",
+    )
+    decoded = CompilationJob.from_dict(json.loads(json.dumps(job.to_dict())))
+    # Statement bodies cannot cross the boundary, so the SCoPs are compared
+    # through their (body-free) serialised form.
+    assert encode_scop(decoded.scop) == encode_scop(job.scop)
+    assert decoded.config.to_json() == job.config.to_json()
+    assert decoded.machine == "Intel1"
+    assert decoded.parameter_values == {"N": 8}
+    assert decoded.label == "probe"
+
+
+def test_from_dict_rejects_unknown_schema_version(compiled_gemm):
+    payload = compiled_gemm.to_dict()
+    payload["schema_version"] = RESULT_SCHEMA_VERSION + 1
+    with pytest.raises(SerializationError) as excinfo:
+        CompilationResult.from_dict(payload)
+    assert excinfo.value.code == "schema_version_mismatch"
+
+
+_fractions = st.fractions(min_value=-8, max_value=8, max_denominator=4)
+_names = st.sampled_from(["i", "j", "k", "N", "M"])
+_exprs = st.builds(
+    lambda terms, constant: AffineExpr(dict(terms), constant),
+    st.dictionaries(_names, _fractions, max_size=3),
+    _fractions,
+)
+
+
+@st.composite
+def _schedules(draw) -> Schedule:
+    schedule = Schedule()
+    for index in range(draw(st.integers(min_value=1, max_value=3))):
+        name = f"S{index}"
+        rows = draw(st.lists(_exprs, min_size=1, max_size=3))
+        schedule.statements[name] = StatementSchedule(name, tuple(rows))
+    n_dims = schedule.n_dims
+    schedule.bands = draw(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=n_dims, max_size=n_dims)
+    )
+    schedule.parallel_dims = draw(
+        st.lists(st.booleans(), min_size=n_dims, max_size=n_dims)
+    )
+    return schedule
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    schedule=_schedules(),
+    timings=st.dictionaries(
+        st.sampled_from(["dependences", "schedule", "evaluate"]),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        max_size=3,
+    ),
+    diagnostics=st.lists(st.text(max_size=20), max_size=3),
+    legal=st.none() | st.booleans(),
+    cycles=st.none() | st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    failed=st.booleans(),
+)
+def test_result_round_trip_property(schedule, timings, diagnostics, legal, cycles, failed):
+    """to_dict/from_dict is the identity through a JSON text round trip."""
+    result = CompilationResult(
+        kernel="prop",
+        configuration="cfg",
+        machine=None,
+        schedule=schedule,
+        scheduling=None,
+        legal=legal,
+        cycles=cycles,
+        stage_timings=dict(timings),
+        diagnostics=list(diagnostics),
+        failed=failed,
+    )
+    decoded = CompilationResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert decoded == result
+
+
+# --------------------------------------------------------------------------- #
+# Persistent store semantics
+# --------------------------------------------------------------------------- #
+def test_store_put_get_and_lru_front(tmp_path, compiled_gemm):
+    store = SqliteResultStore(tmp_path / "store.sqlite", memory_entries=1)
+    store.put("fp-a", compiled_gemm)
+    store.put("fp-b", compiled_gemm)
+    assert store.get("fp-a") == compiled_gemm  # sqlite (a was evicted from the LRU)
+    assert store.get("fp-a") == compiled_gemm  # now the LRU front
+    stats = store.stats()
+    assert stats["entries"] == 2
+    assert stats["lru_entries"] == 1
+    assert stats["lru_hits"] >= 1
+    assert store.get("missing") is None
+    assert store.stats()["misses"] == 1
+    store.close()
+
+
+def test_store_ttl_expiry(tmp_path, compiled_gemm):
+    clock = FakeClock()
+    store = SqliteResultStore(tmp_path / "store.sqlite", ttl=10.0, clock=clock)
+    store.put("fp", compiled_gemm)
+    assert store.get("fp") == compiled_gemm
+    clock.now += 11.0
+    assert store.get("fp") is None
+    assert store.stats()["expired"] >= 1
+    # A per-put TTL override outlives the default.
+    store.put("fp-long", compiled_gemm, ttl=100.0)
+    clock.now += 50.0
+    assert store.get("fp-long") is not None
+    store.close()
+
+
+def test_store_eviction(tmp_path, compiled_gemm):
+    store = SqliteResultStore(tmp_path / "store.sqlite")
+    store.put("fp-a", compiled_gemm)
+    store.put("fp-b", compiled_gemm)
+    assert store.evict("fp-a") == 1
+    assert store.get("fp-a") is None
+    assert store.evict() == 1  # drop everything remaining
+    assert store.stats()["entries"] == 0
+    store.close()
+
+
+def test_store_schema_version_mismatch_is_a_miss(tmp_path, compiled_gemm):
+    path = tmp_path / "store.sqlite"
+    store = SqliteResultStore(path)
+    store.put("fp", compiled_gemm)
+    store.close()
+    # Simulate a row written by an incompatible (newer) version of the code.
+    connection = sqlite3.connect(path)
+    connection.execute(
+        "UPDATE results SET schema_version = ? WHERE fingerprint = 'fp'",
+        (RESULT_SCHEMA_VERSION + 1,),
+    )
+    connection.commit()
+    connection.close()
+    store = SqliteResultStore(path)
+    assert store.get("fp") is None
+    assert store.stats()["schema_mismatches"] == 1
+    assert store.stats()["entries"] == 0  # the stale row was dropped
+    store.close()
+
+
+def test_memory_store_shares_the_contract(compiled_gemm):
+    clock = FakeClock()
+    store = MemoryResultStore(ttl=10.0, clock=clock)
+    store.put("fp", compiled_gemm)
+    fetched = store.get("fp")
+    assert fetched == compiled_gemm
+    assert fetched is not compiled_gemm  # a fresh decode, never a shared object
+    clock.now += 11.0
+    assert store.get("fp") is None
+    assert store.stats()["expired"] == 1
+    store.put("fp", compiled_gemm)
+    assert store.evict("fp") == 1
+    assert store.stats()["entries"] == 0
+
+
+def test_store_corrupt_payload_degrades_to_miss(tmp_path, compiled_gemm):
+    path = tmp_path / "store.sqlite"
+    store = SqliteResultStore(path, memory_entries=0)
+    store.put("fp", compiled_gemm)
+    connection = sqlite3.connect(path)
+    connection.execute("UPDATE results SET payload = '{not json' WHERE fingerprint = 'fp'")
+    connection.commit()
+    connection.close()
+    assert store.get("fp") is None
+    store.close()
+
+
+# --------------------------------------------------------------------------- #
+# Session + store integration
+# --------------------------------------------------------------------------- #
+def test_session_store_hit_skips_scheduler(tmp_path, monkeypatch):
+    path = tmp_path / "store.sqlite"
+    first = Session(machine="Intel1", store=SqliteResultStore(path))
+    outcome = first.compile_with_origin(build_gemm(6, 6, 6))
+    assert outcome.origin == "miss"
+    assert outcome.fingerprint is not None
+    assert first.statistics["store_puts"] == 1
+    assert any(d.startswith("cache: miss") for d in outcome.result.diagnostics)
+
+    # A different session (standing in for another process): the scheduler
+    # must never run.
+    import repro.scheduler.core as core
+
+    def explode(self):
+        raise AssertionError("scheduler invoked despite a persistent store hit")
+
+    monkeypatch.setattr(core.PolyTOPSScheduler, "schedule", explode)
+    second = Session(machine="Intel1", store=SqliteResultStore(path))
+    hit = second.compile_with_origin(build_gemm(6, 6, 6))
+    assert hit.origin == "store"
+    assert hit.fingerprint == outcome.fingerprint
+    assert hit.result.schedule == outcome.result.schedule
+    assert hit.result.to_dict()["schedule"] == outcome.result.to_dict()["schedule"]
+    assert second.statistics["store_hits"] == 1
+    assert second.statistics["memory_hits"] == 0
+    assert any("persistent store hit" in d for d in hit.result.diagnostics)
+    # The store hit seeds the in-memory cache: the next compile is a memory hit.
+    again = second.compile_with_origin(build_gemm(6, 6, 6))
+    assert again.origin == "memory"
+    assert second.statistics["memory_hits"] == 1
+
+
+def test_session_skips_store_for_dynamic_callbacks(tmp_path):
+    session = Session(machine="Intel1", store=SqliteResultStore(tmp_path / "store.sqlite"))
+    outcome = session.compile_with_origin(build_listing1(), isl_style())
+    assert outcome.origin == "miss"
+    assert outcome.fingerprint is None
+    assert session.statistics["store_skips"] == 1
+    assert session.statistics["store_puts"] == 0
+
+
+def test_session_without_store_behaves_as_before():
+    session = Session(machine="Intel1")
+    first = session.compile_with_origin(build_listing1())
+    assert first.origin == "miss" and first.fingerprint is None
+    second = session.compile_with_origin(build_listing1())
+    assert second.origin == "memory"
+    assert session.statistics["result_hits"] == 1
+    assert session.statistics["memory_hits"] == 1
+
+
+def test_result_fingerprint_sensitivity():
+    scop = build_gemm(6, 6, 6)
+    base = result_fingerprint(scop, pluto_style(), knobs=(True, False, (8, 8, 8)))
+    assert base == result_fingerprint(scop, pluto_style(), knobs=(True, False, (8, 8, 8)))
+    assert base != result_fingerprint(scop, pluto_style(), knobs=(False, False, (8, 8, 8)))
+    assert base != result_fingerprint(
+        scop, pluto_style(), parameter_values={"NI": 32}, knobs=(True, False, (8, 8, 8))
+    )
+    assert base != result_fingerprint(build_jacobi_1d(), pluto_style(), knobs=(True, False, (8, 8, 8)))
+
+
+# --------------------------------------------------------------------------- #
+# Wire format validation
+# --------------------------------------------------------------------------- #
+def test_wire_round_trip():
+    request = encode_compile_request(
+        build_listing1(), pluto_style(), "Intel1", {"N": 8}, "wire-test"
+    )
+    decoded = decode_compile_request(json.loads(json.dumps(request)))
+    assert encode_scop(decoded["scop"]) == encode_scop(build_listing1())
+    assert decoded["config"].to_json() == pluto_style().to_json()
+    assert decoded["machine"].name == "Intel1"
+    assert decoded["parameter_values"] == {"N": 8}
+    assert decoded["label"] == "wire-test"
+
+
+@pytest.mark.parametrize(
+    "mutate, code",
+    [
+        (lambda p: p.update(wire_version=99), "unsupported_wire_version"),
+        (lambda p: p.pop("scop"), "missing_field"),
+        (lambda p: p.update(scop={"name": "x"}), "invalid_scop"),
+        (lambda p: p.update(config="{not json"), "invalid_config"),
+        (lambda p: p.update(machine="no-such-machine"), "unknown_machine"),
+        (lambda p: p.update(machine=42), "invalid_machine"),
+        (lambda p: p.update(parameter_values={"N": "many"}), "invalid_parameter_values"),
+        (lambda p: p.update(label=7), "invalid_label"),
+    ],
+)
+def test_wire_error_codes(mutate, code):
+    payload = encode_compile_request(build_listing1(), pluto_style())
+    mutate(payload)
+    with pytest.raises(WireError) as excinfo:
+        decode_compile_request(payload)
+    assert excinfo.value.code == code
+
+
+# --------------------------------------------------------------------------- #
+# HTTP front door
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    store = SqliteResultStore(tmp_path_factory.mktemp("service") / "store.sqlite")
+    auth = ServiceAuth(
+        {
+            "full-token": ("compile", "read", "admin"),
+            "read-token": ("read",),
+        }
+    )
+    server = CompilationServer(store=store, auth=auth, machine="Intel1", job_workers=2)
+    server.start_in_thread()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url, token="full-token")
+
+
+def test_healthz_is_public(server):
+    assert ServiceClient(server.url).healthz()["status"] == "ok"
+
+
+def test_auth_rejects_missing_and_unknown_tokens(server):
+    scop = build_listing1()
+    with pytest.raises(ServiceClientError) as excinfo:
+        ServiceClient(server.url).compile(scop)
+    assert (excinfo.value.status, excinfo.value.code) == (401, "unauthorized")
+    with pytest.raises(ServiceClientError) as excinfo:
+        ServiceClient(server.url, token="wrong").compile(scop)
+    assert (excinfo.value.status, excinfo.value.code) == (401, "unauthorized")
+
+
+def test_auth_enforces_capabilities(server):
+    reader = ServiceClient(server.url, token="read-token")
+    with pytest.raises(ServiceClientError) as excinfo:
+        reader.compile(build_listing1())
+    assert (excinfo.value.status, excinfo.value.code) == (403, "forbidden")
+    with pytest.raises(ServiceClientError) as excinfo:
+        reader.stats()
+    assert (excinfo.value.status, excinfo.value.code) == (403, "forbidden")
+
+
+def test_compile_and_cache_over_http(client):
+    scop = build_gemm(7, 7, 7)
+    first = client.compile(scop, pluto_style())
+    assert first.cache == "miss"
+    assert first.result.legal is True
+    assert first.fingerprint
+    second = client.compile(scop, pluto_style())
+    assert second.cache == "memory"
+    assert second.result.schedule == first.result.schedule
+    fetched = client.result(first.fingerprint)
+    assert fetched.result.schedule == first.result.schedule
+
+
+def test_unknown_fingerprint_is_404(client):
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.result("no-such-fingerprint")
+    assert (excinfo.value.status, excinfo.value.code) == (404, "result_not_found")
+
+
+def test_malformed_payload_yields_error_envelope(server):
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        f"{server.url}/v1/compile",
+        data=b"{this is not json",
+        headers={"Authorization": "Bearer full-token", "Content-Type": "application/json"},
+        method="POST",
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=10)
+    assert excinfo.value.code == 400
+    envelope = json.loads(excinfo.value.read().decode())
+    assert envelope["error"]["code"] == "invalid_json"
+    assert "detail" in envelope["error"]
+
+
+def test_malformed_wire_payload_yields_wire_code(client, server):
+    with pytest.raises(ServiceClientError) as excinfo:
+        client._request("POST", "/v1/compile", {"wire_version": 1})
+    assert (excinfo.value.status, excinfo.value.code) == (400, "missing_field")
+
+
+def test_unknown_route_is_404(client):
+    with pytest.raises(ServiceClientError) as excinfo:
+        client._request("GET", "/v1/nothing")
+    assert (excinfo.value.status, excinfo.value.code) == (404, "not_found")
+
+
+def test_async_job_lifecycle(client):
+    job = client.submit(build_jacobi_1d(4, 10), pluto_style(), label="async-test")
+    assert job["state"] in ("queued", "running")
+    response = client.wait(job["id"])
+    description = response["job"]
+    assert description["state"] == "done"
+    assert description["cache"] == "miss"
+    assert description["fingerprint"]
+    stages = [entry["stage"] for entry in description["progress"]]
+    # Per-stage progress comes from the stage timings the pipeline records.
+    assert stages == ["dependences", "schedule", "postprocess", "legality", "codegen", "evaluate"]
+    assert all(entry["seconds"] >= 0 for entry in description["progress"])
+    result = client.wait_result(job["id"])
+    assert result.kernel == "jacobi-1d"
+    assert result.configuration == "async-test"
+
+
+def test_unknown_job_is_404(client):
+    with pytest.raises(ServiceClientError) as excinfo:
+        client.job("job-none")
+    assert (excinfo.value.status, excinfo.value.code) == (404, "job_not_found")
+
+
+def test_stats_reports_store_and_jobs(client):
+    stats = client.stats()
+    assert stats["store"]["backend"] == "sqlite"
+    assert "memory_hits" in stats["session"]
+    assert "store_hits" in stats["session"]
+    assert stats["jobs"]["submitted"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Two real processes sharing one store file
+# --------------------------------------------------------------------------- #
+_PROCESS_SCRIPT = """
+import json, sys
+sys.path.insert(0, sys.argv[2])   # src
+sys.path.insert(0, sys.argv[3])   # tests (conftest kernels)
+if len(sys.argv) > 4 and sys.argv[4] == "forbid-scheduler":
+    import repro.scheduler.core as core
+    def explode(self):
+        raise AssertionError("scheduler invoked in the second process")
+    core.PolyTOPSScheduler.schedule = explode
+from conftest import build_gemm
+from repro.pipeline import Session
+from repro.service.store import SqliteResultStore
+session = Session(machine="Intel1", store=SqliteResultStore(sys.argv[1]))
+outcome = session.compile_with_origin(build_gemm(6, 6, 6))
+print(json.dumps({
+    "origin": outcome.origin,
+    "fingerprint": outcome.fingerprint,
+    "schedule": outcome.result.to_dict()["schedule"],
+    "cycles": outcome.result.cycles,
+    "store_hits": session.statistics["store_hits"],
+}))
+"""
+
+
+def _run_client_process(store_path: Path, *extra: str) -> dict:
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _PROCESS_SCRIPT,
+            str(store_path),
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "tests"),
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def test_two_processes_share_bit_identical_results(tmp_path):
+    """Acceptance: a second server process answers from the shared store,
+    bit-identically, without ever invoking the scheduler."""
+    store_path = tmp_path / "shared.sqlite"
+    first = _run_client_process(store_path)
+    assert first["origin"] == "miss"
+    second = _run_client_process(store_path, "forbid-scheduler")
+    assert second["origin"] == "store"
+    assert second["store_hits"] == 1
+    assert second["fingerprint"] == first["fingerprint"]
+    assert second["schedule"] == first["schedule"]  # bit-identical serialised rows
+    assert second["cycles"] == first["cycles"]
