@@ -20,7 +20,17 @@ counters — ``tableau_rows`` (total root tableau height built),
 ``bound_flips`` and ``rows_saved`` — which ``benchmarks/perf_gate.py`` gates
 against the committed baseline: a change that re-materialises variable
 bounds as explicit rows shows up as a ``tableau_rows`` regression even when
-wall time is too noisy to notice.
+wall time is too noisy to notice.  The revised-core counters ride along:
+``basis_nnz`` (non-zeros stored by the factored bases), ``eta_entries``
+(update-file growth), ``refactorizations`` and ``tableau_cells_saved``
+(dense cells the sparse rows never materialised); the gate fails on *any*
+``basis_nnz``/``eta_entries`` increase and checks ``basis_nnz`` stays below
+the dense ``tableau_cells`` count.
+
+Every run also times the corpus under ``core="tableau"`` (the retained dense
+reference) and bit-compares assignments and ``node_key`` witnesses against
+the revised core, and schedules the deep-nest corpus under both cores —
+the regime the revised simplex exists for.
 """
 
 from __future__ import annotations
@@ -119,8 +129,9 @@ def _solve_all(
     engine: str,
     workers: int = 1,
     processes: bool = False,
+    core: str | None = None,
 ) -> tuple[float, list, IlpSolver]:
-    solver = IlpSolver(engine=engine, workers=workers, processes=processes)
+    solver = IlpSolver(engine=engine, workers=workers, processes=processes, core=core)
     solutions = []
     started = time.perf_counter()
     try:
@@ -182,10 +193,20 @@ def run_workers(workers: int, quick: bool = False, processes: bool = False) -> d
 
 
 def run(quick: bool = False) -> dict:
-    """Time both solver paths over the corpus and differentially compare them."""
+    """Time all three solver paths over the corpus and differentially compare.
+
+    The engine runs twice — ``core="revised"`` (the default, reported as
+    ``engine_seconds``/``engine_statistics``) and ``core="tableau"`` (the
+    dense reference) — and both are checked against the oracle's objective
+    values.  The two cores must additionally be *bit-identical*: same
+    assignments, same branch & bound ``node_key`` witnesses.
+    """
     problems = synthetic_problems(12 if quick else 60) + scheduler_problems(quick)
     engine_seconds, engine_solutions, engine_solver = _solve_all(
-        problems, "incremental"
+        problems, "incremental", core="revised"
+    )
+    tableau_seconds, tableau_solutions, _ = _solve_all(
+        problems, "incremental", core="tableau"
     )
     oracle_seconds, oracle_solutions, _ = _solve_all(problems, "oracle")
 
@@ -195,18 +216,85 @@ def run(quick: bool = False) -> dict:
             mismatches += 1
         elif a is not None and a.objective_values != b.objective_values:
             mismatches += 1
+    core_mismatches = sum(
+        1
+        for a, b in zip(engine_solutions, tableau_solutions)
+        if (a is None) != (b is None)
+        or (a is not None and (a.assignment, a.node_key) != (b.assignment, b.node_key))
+    )
 
     return {
         "problems": len(problems),
         "quick": quick,
         "machine": machine_info(),
         "engine_seconds": engine_seconds,
+        "tableau_seconds": tableau_seconds,
         "oracle_seconds": oracle_seconds,
         "speedup_vs_oracle": (oracle_seconds / engine_seconds)
         if engine_seconds
         else None,
+        "speedup_vs_tableau": (tableau_seconds / engine_seconds)
+        if engine_seconds
+        else None,
         "mismatches": mismatches,
+        "core_mismatches": core_mismatches,
         "engine_statistics": engine_solver.statistics_summary(),
+    }
+
+
+def run_deepnest(quick: bool = False) -> dict:
+    """Schedule the deep-nest corpus under both cores and compare wall clock.
+
+    This is the corpus the revised core exists for: 5-7 deep nests whose
+    dense tableaus are wide and nearly empty.  Each run pins
+    ``REPRO_ILP_CORE`` so the *whole* stack — the scheduling ILPs and the
+    dependence analysis' batched emptiness probes alike — goes through one
+    core (the ``solver_core`` config knob only switches the scheduling
+    solver).  Schedules must be identical row for row; the timing gap is the
+    headline number.
+    """
+    from repro.scheduler.core import PolyTOPSScheduler
+    from repro.scheduler.strategies import pluto_style
+    from repro.suites.deepnest import build_deepnest, deepnest_names
+
+    kernels = ("tc-5d", "tc-6d", "polymage-deep") if quick else tuple(deepnest_names())
+    timings: dict[str, dict[str, float]] = {}
+    mismatches = 0
+    totals = {"revised": 0.0, "tableau": 0.0}
+    saved_core = os.environ.get("REPRO_ILP_CORE")
+    try:
+        for kernel in kernels:
+            rows: dict[str, dict] = {}
+            timings[kernel] = {}
+            for core in ("revised", "tableau"):
+                os.environ["REPRO_ILP_CORE"] = core
+                scop = build_deepnest(kernel)
+                started = time.perf_counter()
+                result = PolyTOPSScheduler(scop, pluto_style()).schedule()
+                elapsed = time.perf_counter() - started
+                timings[kernel][core] = elapsed
+                totals[core] += elapsed
+                rows[core] = {
+                    name: [str(row) for row in statement.rows]
+                    for name, statement in result.schedule.statements.items()
+                }
+            if rows["revised"] != rows["tableau"]:
+                mismatches += 1
+    finally:
+        if saved_core is None:
+            os.environ.pop("REPRO_ILP_CORE", None)
+        else:
+            os.environ["REPRO_ILP_CORE"] = saved_core
+    return {
+        "quick": quick,
+        "kernels": list(kernels),
+        "timings": timings,
+        "revised_seconds": totals["revised"],
+        "tableau_seconds": totals["tableau"],
+        "speedup": (totals["tableau"] / totals["revised"])
+        if totals["revised"]
+        else None,
+        "mismatches": mismatches,
     }
 
 
@@ -264,7 +352,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     arguments = parser.parse_args(argv)
     report = run(quick=arguments.quick)
-    mismatches = report["mismatches"]
+    mismatches = report["mismatches"] + report["core_mismatches"]
+    report["deepnest_benchmark"] = run_deepnest(quick=arguments.quick)
+    mismatches += report["deepnest_benchmark"]["mismatches"]
     if arguments.workers:
         report["workers_benchmark"] = run_workers(
             arguments.workers, quick=arguments.quick, processes=arguments.processes

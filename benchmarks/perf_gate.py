@@ -13,6 +13,11 @@ Two checks, in decreasing order of trust:
   corpus) are deterministic for a given corpus — they compare safely across
   machines and catch algorithmic regressions (a lost warm start, a broken
   prune) no matter where the job runs;
+* **revised-core counters** (``basis_nnz``, ``eta_entries``) are gated with
+  zero tolerance — exact integers for a fixed corpus, any increase means the
+  factored basis got denser — and ``basis_nnz`` must stay strictly below the
+  dense ``tableau_cells`` count (``refactorizations`` and
+  ``tableau_cells_saved`` are reported informationally);
 * **wall time** (``engine_seconds``) only compares within the same CPU
   budget and interpreter, so it is checked **only when the report's machine
   info matches the baseline's** (same ``cpu_count``, Python
@@ -54,6 +59,16 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "baselines" / "solver_basel
 #: rows again instead of living in the bounded-variable simplex's column
 #: boxes — exactly the kind of silent slowdown wall-time noise would hide.
 WORK_COUNTERS = ("pivots", "nodes", "tableau_rows")
+
+#: Revised-core counters, gated with a **zero** tolerance: for a fixed corpus
+#: the factored-basis footprint (``basis_nnz``) and the eta-file growth
+#: (``eta_entries``) are exact integers, so *any* increase means the basis
+#: handling got denser — there is no noise to absorb with a threshold.
+#: ``refactorizations`` is reported informationally (the refresh policy is
+#: free to trade refactorisations for eta growth, and re-inversion is
+#: observably transparent).
+REVISED_STRICT_COUNTERS = ("basis_nnz", "eta_entries")
+REVISED_INFO_COUNTERS = ("refactorizations", "tableau_cells_saved")
 
 #: Deterministic counters of the sparse polyhedral core, gated when a
 #: ``--sparse-report`` (from ``bench_sparse.py``) is provided.  Direction
@@ -122,6 +137,58 @@ def compare(report: dict, baseline: dict, threshold: float) -> tuple[list[str], 
         line = f"{counter}: {before} -> {after} ({ratio:.2f}x)"
         if ratio > 1.0 + threshold:
             failures.append(f"work regression: {line} exceeds +{threshold:.0%}")
+        else:
+            notes.append(line)
+
+    if report.get("core_mismatches"):
+        failures.append(
+            "revised/tableau cores disagree (assignments or node_key): "
+            f"{report['core_mismatches']}"
+        )
+    deepnest = report.get("deepnest_benchmark") or {}
+    if deepnest.get("mismatches"):
+        failures.append(
+            f"revised/tableau schedule mismatches on the deep-nest corpus: "
+            f"{deepnest['mismatches']}"
+        )
+    elif deepnest:
+        notes.append(
+            "deepnest: revised %.3fs vs tableau %.3fs (%.2fx)"
+            % (
+                deepnest.get("revised_seconds", 0.0),
+                deepnest.get("tableau_seconds", 0.0),
+                deepnest.get("speedup") or 0.0,
+            )
+        )
+
+    for counter in REVISED_STRICT_COUNTERS:
+        before = baseline_stats.get(counter)
+        after = current_stats.get(counter)
+        if before is None or after is None:
+            notes.append(f"revised counter {counter!r} missing; skipped")
+            continue
+        line = f"{counter}: {before} -> {after}"
+        if after > before:
+            failures.append(
+                f"revised-core regression: {line} — the factored basis got "
+                "denser (zero tolerance: these counters are exact for a "
+                "fixed corpus)"
+            )
+        else:
+            notes.append(line)
+    for counter in REVISED_INFO_COUNTERS:
+        before = baseline_stats.get(counter)
+        after = current_stats.get(counter)
+        if before is not None and after is not None:
+            notes.append(f"{counter}: {before} -> {after} (informational)")
+    basis_nnz = current_stats.get("basis_nnz")
+    tableau_cells = current_stats.get("tableau_cells")
+    if basis_nnz and tableau_cells is not None:
+        # The revised core's reason to exist: the factored bases must store
+        # strictly fewer non-zeros than the dense tableau materialises cells.
+        line = f"basis_nnz {basis_nnz} vs tableau_cells {tableau_cells}"
+        if basis_nnz >= tableau_cells:
+            failures.append(f"factored basis denser than the dense tableau: {line}")
         else:
             notes.append(line)
 

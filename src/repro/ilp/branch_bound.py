@@ -55,6 +55,13 @@ class MilpResult:
     parallel_speedup: float = 1.0
     bound_flips: int = 0
     rows_saved: int = 0
+    # Revised-core mirrors (basis factorisation work).  The dense oracle
+    # keeps no factored basis, so it always reports 0 for all three — like
+    # bound_flips/rows_saved, the gap against the engine's numbers is the
+    # saving itself.
+    basis_nnz: int = 0
+    eta_entries: int = 0
+    refactorizations: int = 0
 
 
 class _StandardFormEncoder:

@@ -41,9 +41,11 @@ test-suite asserts exactly that.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
+from math import gcd
 from typing import Mapping, Sequence
 
 from ..linalg.rational import as_fraction
@@ -62,6 +64,26 @@ __all__ = [
 
 _BLAND_SWITCH_ITERATIONS = 500
 _MAX_ITERATIONS = 20000
+
+_CORE_CHOICES = ("revised", "tableau")
+
+
+def _default_core() -> str:
+    """Simplex core choice from ``REPRO_ILP_CORE`` (default: revised).
+
+    ``revised`` is the sparse revised-simplex core (factored basis, eta
+    updates); ``tableau`` is the retained dense integer tableau, kept as the
+    differential reference.  Both produce bit-identical schedules.
+    """
+    choice = os.environ.get("REPRO_ILP_CORE", "revised").strip().lower()
+    if choice not in _CORE_CHOICES:
+        # A typo would silently validate the revised core against itself in a
+        # differential run; fail loudly instead.
+        raise ValueError(
+            f"REPRO_ILP_CORE={choice!r} is not a known simplex core; "
+            f"known: {_CORE_CHOICES}"
+        )
+    return choice
 
 
 class EngineError(RuntimeError):
@@ -107,6 +129,13 @@ class EngineStatistics:
     bound_flips: int = 0
     rows_saved: int = 0
     tableau_rows: int = 0
+    basis_nnz: int = 0
+    eta_entries: int = 0
+    refactorizations: int = 0
+    tableau_cells: int = 0
+    tableau_cells_saved: int = 0
+    sparse_encoded_rows: int = 0
+    dense_encode_rows: int = 0
     encode_seconds: float = 0.0
     solve_seconds: float = 0.0
     parallel_stages: int = 0
@@ -136,6 +165,13 @@ class EngineStatistics:
             "bound_flips": self.bound_flips,
             "rows_saved": self.rows_saved,
             "tableau_rows": self.tableau_rows,
+            "basis_nnz": self.basis_nnz,
+            "eta_entries": self.eta_entries,
+            "refactorizations": self.refactorizations,
+            "tableau_cells": self.tableau_cells,
+            "tableau_cells_saved": self.tableau_cells_saved,
+            "sparse_encoded_rows": self.sparse_encoded_rows,
+            "dense_encode_rows": self.dense_encode_rows,
             "encode_seconds": self.encode_seconds,
             "solve_seconds": self.solve_seconds,
             "parallel_stages": self.parallel_stages,
@@ -611,6 +647,48 @@ class _IntegerTableau:
                 best, best_z, best_coeff = column, z, coeff
         return best
 
+    # ------------------------------------------------------------------ #
+    # Phase-1 cleanup
+    # ------------------------------------------------------------------ #
+    def cleanup_artificials(self, first_artificial: int) -> None:
+        """Drive leftover artificials out of the basis and truncate them away.
+
+        Rows whose artificial cannot pivot on any real column are redundant
+        (all-zero over the real columns) and are dropped.  The artificial
+        columns are trailing — every column at or past *first_artificial* —
+        so the truncation leaves later pivots, copies and added cuts a
+        tableau that never sees them again.
+        """
+        redundant: list[int] = []
+        for row_index, basic in enumerate(list(self.basis)):
+            if basic < first_artificial:
+                continue
+            row = self.rows[row_index]
+            pivot_col = next(
+                (
+                    column
+                    for column in range(first_artificial)
+                    if row[column] != 0
+                ),
+                None,
+            )
+            if pivot_col is None:
+                redundant.append(row_index)
+            else:
+                self.pivot(row_index, pivot_col)
+        for row_index in sorted(redundant, reverse=True):
+            del self.rows[row_index]
+            del self.basis[row_index]
+
+        self.rows = [row[:first_artificial] + [row[-1]] for row in self.rows]
+        self.objective = (
+            self.objective[:first_artificial] + [self.objective[-1]]
+        )
+        self.spans = self.spans[:first_artificial]
+        self.bases = self.bases[:first_artificial]
+        self.signs = self.signs[:first_artificial]
+        self.n_columns = first_artificial
+
 
 class _BranchNode:
     """One branch & bound work unit: parent tableau plus at most one cut.
@@ -669,6 +747,7 @@ class IncrementalIlpEngine:
         workers: int = 1,
         pool=None,
         use_processes: bool = False,
+        core: str | None = None,
     ):
         self.problem = problem
         self.node_limit = node_limit
@@ -676,6 +755,13 @@ class IncrementalIlpEngine:
         self.workers = max(1, int(workers))
         self.pool = pool
         self.use_processes = use_processes
+        if core is None:
+            core = _default_core()
+        elif core not in _CORE_CHOICES:
+            raise ValueError(
+                f"unknown simplex core {core!r}; known: {_CORE_CHOICES}"
+            )
+        self.core = core
 
         started = time.perf_counter()
         # The oracle's encoder defines the shift/split column layout; sharing
@@ -704,8 +790,12 @@ class IncrementalIlpEngine:
             explicit_upper.append((name, upper))
 
         # Base rows: problem constraints then leftover upper bounds,
-        # integer-normalised.
-        self._base_rows: list[tuple[list[int], ConstraintSense, int]] = []
+        # integer-normalised and kept sparse as (column, value) pairs — the
+        # dense core densifies them once at root build, the revised core
+        # never does.
+        self._base_rows: list[
+            tuple[tuple[tuple[int, int], ...], ConstraintSense, int]
+        ] = []
         for constraint in problem.constraints:
             self._append_base_row(
                 constraint.coefficients, constraint.sense, constraint.rhs
@@ -714,7 +804,8 @@ class IncrementalIlpEngine:
             self._append_base_row({name: Fraction(1)}, ConstraintSense.LE, upper)
         self.stats.encode_seconds += time.perf_counter() - started
 
-        self._tableau: _IntegerTableau | None = None
+        # The root tableau of the last solve (either core's type).
+        self._tableau = None
 
     def __getstate__(self):
         # Shipped to forked branch & bound workers: the pool holds thread
@@ -739,47 +830,77 @@ class IncrementalIlpEngine:
         sense: ConstraintSense,
         rhs: Fraction,
     ) -> None:
-        integer = self._encode_integer_row(coefficients, rhs)
-        if integer is None:
+        encoded = self._encode_integer_row(coefficients, rhs)
+        if encoded is None:
+            # Fractional data: exact rational encoding over the dense width,
+            # then back to pairs.  The scheduler's rows are integral, so this
+            # detour is the exception — `dense_encode_rows` counts it.
             dense, offset = self._encode_terms(coefficients)
             dense.append(rhs - offset)
             integer = reduce_integer_row(clear_denominators(dense))
-        self._base_rows.append((integer[:-1], sense, integer[-1]))
+            pairs = tuple(
+                (column, value)
+                for column, value in enumerate(integer[:-1])
+                if value
+            )
+            encoded = (pairs, integer[-1])
+            self.stats.dense_encode_rows += 1
+        else:
+            self.stats.sparse_encoded_rows += 1
+        self._base_rows.append((encoded[0], sense, encoded[1]))
 
     def _encode_integer_row(
         self, coefficients: Mapping[str, Fraction], rhs: Fraction
-    ) -> list[int] | None:
+    ) -> tuple[tuple[tuple[int, int], ...], int] | None:
         """Sparse all-integer encoding, or ``None`` when any datum is fractional.
 
         The sparse Farkas core hands the scheduler integer rows already, so
         the common path builds the standard-form row by walking the non-zero
-        terms only — no dense Fraction vector, no common-denominator pass
-        (``clear_denominators``) over the full column width.  Any fractional
-        coefficient, shift or right-hand side falls back to the exact
-        rational encoding.
+        terms only — no dense list over the column width at any point: the
+        row stays ``(column, value)`` pairs from the constraint dict to the
+        simplex core.  The GCD reduction matches ``reduce_integer_row`` on
+        the equivalent dense row (zero cells never change a GCD), so the
+        dense core sees bit-identical data.  Any fractional coefficient,
+        shift or right-hand side falls back to the exact rational encoding.
         """
         rhs = as_fraction(rhs)
         if rhs.denominator != 1:
             return None
         encoder = self._encoder
-        row = [0] * self.n_structural
+        accumulated: dict[int, int] = {}
         offset = 0
         for name, coefficient in coefficients.items():
             coefficient = as_fraction(coefficient)
             if coefficient.denominator != 1:
                 return None
             value = coefficient.numerator
+            if value == 0:
+                continue
             shift = encoder.shift_of[name]
             if shift:
                 if shift.denominator != 1:
                     return None
                 offset += value * shift.numerator
-            row[encoder.column_of[name]] += value
+            column = encoder.column_of[name]
+            accumulated[column] = accumulated.get(column, 0) + value
             negative = encoder.negative_column_of.get(name)
             if negative is not None:
-                row[negative] -= value
-        row.append(rhs.numerator - offset)
-        return reduce_integer_row(row)
+                accumulated[negative] = accumulated.get(negative, 0) - value
+        rhs_value = rhs.numerator - offset
+        pairs = sorted(
+            (column, value) for column, value in accumulated.items() if value
+        )
+        g = 0
+        for _, value in pairs:
+            g = gcd(g, value)
+            if g == 1:
+                break
+        if g != 1:
+            g = gcd(g, rhs_value)
+        if g > 1:
+            pairs = [(column, value // g) for column, value in pairs]
+            rhs_value //= g
+        return tuple(pairs), rhs_value
 
     def _encode_objective(
         self, objective: Mapping[str, Fraction]
@@ -795,7 +916,7 @@ class IncrementalIlpEngine:
     # ------------------------------------------------------------------ #
     # Root tableau (phase 1, run once)
     # ------------------------------------------------------------------ #
-    def _build_root(self) -> _IntegerTableau | None:
+    def _build_root(self):
         """Feasible slack-only tableau, or ``None`` when the LP is infeasible.
 
         Rows are normalised so that a row only needs an artificial variable
@@ -804,9 +925,13 @@ class IncrementalIlpEngine:
         start with their slack basic at a feasible value.  The scheduler's
         Farkas rows are homogeneous (``... >= 0``), so phase 1 typically only
         has to repair the few equality and strict-progression rows.
+
+        The root is built for the configured simplex core: the revised core
+        takes the rows as sparse pairs directly; the dense tableau is the
+        only consumer that ever materialises them.
         """
-        specs: list[tuple[list[int], ConstraintSense, int]] = []
-        for coefficients, sense, rhs in self._base_rows:
+        specs: list[tuple[tuple[tuple[int, int], ...], ConstraintSense, int]] = []
+        for pairs, sense, rhs in self._base_rows:
             flip = False
             if sense is ConstraintSense.EQ:
                 flip = rhs < 0
@@ -816,13 +941,13 @@ class IncrementalIlpEngine:
             else:
                 flip = rhs < 0
             if flip:
-                coefficients = [-value for value in coefficients]
+                pairs = tuple((column, -value) for column, value in pairs)
                 rhs = -rhs
                 if sense is ConstraintSense.LE:
                     sense = ConstraintSense.GE
                 elif sense is ConstraintSense.GE:
                     sense = ConstraintSense.LE
-            specs.append((coefficients, sense, rhs))
+            specs.append((pairs, sense, rhs))
 
         n_structural = self.n_structural
         n_slack = sum(1 for _, sense, _ in specs if sense is not ConstraintSense.EQ)
@@ -831,31 +956,45 @@ class IncrementalIlpEngine:
         )
         total = n_structural + n_slack + n_artificial
 
-        rows: list[list[int]] = []
+        row_specs: list[tuple[tuple[tuple[int, int], ...], int]] = []
         basis: list[int] = []
         artificial_columns: list[int] = []
         slack_index = 0
         artificial_index = 0
-        for coefficients, sense, rhs in specs:
-            padded = list(coefficients) + [0] * (total - n_structural)
+        for pairs, sense, rhs in specs:
+            entries = list(pairs)
             if sense is not ConstraintSense.EQ:
                 column = n_structural + slack_index
-                padded[column] = 1 if sense is ConstraintSense.LE else -1
+                entries.append((column, 1 if sense is ConstraintSense.LE else -1))
                 slack_index += 1
             if sense is ConstraintSense.LE:
                 basis.append(n_structural + slack_index - 1)
             else:
                 column = n_structural + n_slack + artificial_index
-                padded[column] = 1
+                entries.append((column, 1))
                 artificial_columns.append(column)
                 basis.append(column)
                 artificial_index += 1
-            padded.append(rhs)
-            rows.append(padded)
+            row_specs.append((tuple(entries), rhs))
 
         spans = list(self._column_spans) + [None] * (total - n_structural)
-        tableau = _IntegerTableau(rows, basis, total, self.stats, spans)
-        self.stats.tableau_rows += len(rows)
+        dense_cells = len(row_specs) * (total + 1)
+        if self.core == "revised":
+            from .revised import _RevisedTableau
+
+            tableau = _RevisedTableau(row_specs, basis, total, self.stats, spans)
+            self.stats.tableau_cells_saved += dense_cells - tableau.stored_cells()
+        else:
+            rows: list[list[int]] = []
+            for entries, rhs in row_specs:
+                padded = [0] * total
+                for column, value in entries:
+                    padded[column] = value
+                padded.append(rhs)
+                rows.append(padded)
+            tableau = _IntegerTableau(rows, basis, total, self.stats, spans)
+        self.stats.tableau_rows += len(row_specs)
+        self.stats.tableau_cells += dense_cells
         if not artificial_columns:
             return tableau
 
@@ -872,41 +1011,9 @@ class IncrementalIlpEngine:
         if tableau.objective_value() != 0:
             return None
 
-        # Drive leftover artificials out of the basis; rows that cannot pivot
-        # are redundant (all-zero over the real columns) and are dropped.
-        artificial_set = set(artificial_columns)
-        first_artificial = n_structural + n_slack
-        redundant: list[int] = []
-        for row_index, basic in enumerate(list(tableau.basis)):
-            if basic not in artificial_set:
-                continue
-            row = tableau.rows[row_index]
-            pivot_col = next(
-                (
-                    column
-                    for column in range(first_artificial)
-                    if row[column] != 0
-                ),
-                None,
-            )
-            if pivot_col is None:
-                redundant.append(row_index)
-            else:
-                tableau.pivot(row_index, pivot_col)
-        for row_index in sorted(redundant, reverse=True):
-            del tableau.rows[row_index]
-            del tableau.basis[row_index]
-
-        # The artificial columns are trailing; truncate them away so later
-        # pivots, copies and added cuts never touch them again.
-        tableau.rows = [row[:first_artificial] + [row[-1]] for row in tableau.rows]
-        tableau.objective = (
-            tableau.objective[:first_artificial] + [tableau.objective[-1]]
-        )
-        tableau.spans = tableau.spans[:first_artificial]
-        tableau.bases = tableau.bases[:first_artificial]
-        tableau.signs = tableau.signs[:first_artificial]
-        tableau.n_columns = first_artificial
+        # Drive leftover artificials out of the basis, drop redundant rows
+        # and truncate the trailing artificial columns away.
+        tableau.cleanup_artificials(n_structural + n_slack)
         return tableau
 
     # ------------------------------------------------------------------ #

@@ -482,6 +482,17 @@ class ParallelBranchAndBound:
             stats.bound_flips += int(child_stats.get("bound_flips", 0))
             stats.rows_saved += int(child_stats.get("rows_saved", 0))
             stats.tableau_rows += int(child_stats.get("tableau_rows", 0))
+            stats.basis_nnz += int(child_stats.get("basis_nnz", 0))
+            stats.eta_entries += int(child_stats.get("eta_entries", 0))
+            stats.refactorizations += int(child_stats.get("refactorizations", 0))
+            stats.tableau_cells += int(child_stats.get("tableau_cells", 0))
+            stats.tableau_cells_saved += int(
+                child_stats.get("tableau_cells_saved", 0)
+            )
+            stats.sparse_encoded_rows += int(
+                child_stats.get("sparse_encoded_rows", 0)
+            )
+            stats.dense_encode_rows += int(child_stats.get("dense_encode_rows", 0))
             stats.parallel_busy_seconds += float(
                 child_stats.get("solve_seconds", 0.0)
             )

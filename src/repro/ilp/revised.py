@@ -1,0 +1,643 @@
+"""Revised-simplex core: sparse rows, factored basis, dense tableau retired.
+
+:class:`_RevisedTableau` is a drop-in replacement for the engine's dense
+:class:`~repro.ilp.engine._IntegerTableau` (``IlpSolver(core="revised")``, the
+default).  Instead of materialising ``den * B^{-1}A`` it keeps
+
+* the constraint rows **sparse and immutable** as ``(column, value)`` pairs in
+  a sign-neutral coordinate system (a complemented column is read through
+  ``signs`` at use time, so bound flips never rewrite the matrix),
+* a column-major index over the same entries (FTRAN seeds),
+* the right-hand sides ``beta = den * B^{-1} b`` and the reduced-cost row
+  densely (both are updated per pivot with the same fraction-free formulas the
+  dense kernel applies to every cell),
+* the basis inverse as a fraction-free
+  :class:`~repro.linalg.sparse_lu.EtaFile` — re-inverted when the update tail
+  grows past ``max(16, m)`` operations or the row space changes shape.
+
+Each pivot FTRANs the entering column (which also drives the ratio test),
+BTRANs the pivot row (which prices the reduced-cost update), and appends one
+eta operation.  Every number that feeds a pivot *decision* — reduced costs,
+ratio-test numerators, dual violations — is the exact integer the dense
+tableau would hold in the corresponding cell, so the pivot sequences, the
+solutions, and the branch & bound ``node_key`` witnesses are bit-identical
+across the two cores, for any worker count and any refactorisation policy
+(re-inversion is observably transparent).  A cheap cross-check per pivot
+(``xhat[r] == what[q]``, the same cell computed by FTRAN and BTRAN) turns any
+factorisation drift into an :class:`~repro.ilp.engine.EngineError`, which the
+solver answers by falling back to the dense oracle.
+
+Branch & bound children :meth:`copy` in ``O(m + n + ops)``: the sparse rows
+and the recorded eta operations are shared with the parent, so a child reuses
+the parent's factorisation and replays only its own cuts plus the eta tail —
+this is what makes deep branching affordable on large SCoPs where copying a
+dense tableau per node was the scaling wall.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..linalg.sparse_lu import EtaFile, FactorizationError
+from .engine import (
+    _BLAND_SWITCH_ITERATIONS,
+    _MAX_ITERATIONS,
+    EngineError,
+    EngineStatistics,
+)
+from .problem import ConstraintSense
+from .simplex import LpStatus
+
+__all__ = ["_RevisedTableau"]
+
+_MIN_REFRESH_OPS = 16
+
+
+class _RevisedTableau:
+    """Bounded-variable simplex over sparse rows and a factored basis.
+
+    Mirrors the dense core's public surface (``copy``, ``tighten_column``,
+    ``set_objective``, ``objective_value``, ``structural_values``,
+    ``add_le_row``, ``primal_simplex``, ``dual_simplex``,
+    ``cleanup_artificials``) and its box bookkeeping (``spans`` / ``bases`` /
+    ``signs``); see :class:`~repro.ilp.engine._IntegerTableau` for the
+    semantics of the working-variable substitutions.
+    """
+
+    __slots__ = (
+        "rows",
+        "cols",
+        "beta",
+        "basis",
+        "objective",
+        "n_columns",
+        "stats",
+        "spans",
+        "bases",
+        "signs",
+        "file",
+    )
+
+    def __init__(
+        self,
+        rows: Sequence[tuple[Sequence[tuple[int, int]], int]],
+        basis: list[int],
+        n_columns: int,
+        stats: EngineStatistics,
+        spans: list[int | None] | None = None,
+    ):
+        self.rows: list[tuple[tuple[int, int], ...]] = [
+            tuple(pairs) for pairs, _ in rows
+        ]
+        # The root basis is slack/artificial-identity (den == 1, B == I), so
+        # beta starts as the raw right-hand sides and the file starts empty.
+        self.beta: list[int] = [rhs for _, rhs in rows]
+        cols: list[list[tuple[int, int]]] = [[] for _ in range(n_columns)]
+        for index, row in enumerate(self.rows):
+            for column, value in row:
+                cols[column].append((index, value))
+        self.cols = cols
+        self.basis = basis
+        self.n_columns = n_columns
+        self.objective: list[int] = [0] * (n_columns + 1)
+        self.stats = stats
+        if spans is None:
+            spans = [None] * n_columns
+        self.spans: list[int | None] = spans
+        self.bases: list[int] = [0] * n_columns
+        self.signs: list[int] = [1] * n_columns
+        self.file = EtaFile(len(self.rows))
+
+    @property
+    def den(self) -> int:
+        return self.file.den
+
+    def copy(self) -> "_RevisedTableau":
+        clone = _RevisedTableau.__new__(_RevisedTableau)
+        clone.rows = list(self.rows)
+        clone.cols = list(self.cols)
+        clone.beta = list(self.beta)
+        clone.basis = list(self.basis)
+        clone.objective = list(self.objective)
+        clone.n_columns = self.n_columns
+        clone.stats = self.stats
+        clone.spans = list(self.spans)
+        clone.bases = list(self.bases)
+        clone.signs = list(self.signs)
+        clone.file = self.file.copy()
+        return clone
+
+    def stored_cells(self) -> int:
+        """Materialised constraint-matrix cells (sparse row entries + rhs).
+
+        Compared like-for-like against the dense tableau's ``rows * (columns
+        + 1)`` matrix block; the reduced-cost row is dense in both cores and
+        excluded from both sides.
+        """
+        return sum(len(row) for row in self.rows) + len(self.beta)
+
+    # ------------------------------------------------------------------ #
+    # Basis factorisation
+    # ------------------------------------------------------------------ #
+    def _ensure_factored(self) -> None:
+        file = self.file
+        m = len(self.basis)
+        threshold = m if m > _MIN_REFRESH_OPS else _MIN_REFRESH_OPS
+        if file.stale or file.update_ops > threshold:
+            self._refactor()
+
+    def _refactor(self) -> None:
+        columns: list[Sequence[tuple[int, int]]] = []
+        cols = self.cols
+        signs = self.signs
+        for column in self.basis:
+            entries = cols[column]
+            if signs[column] < 0:
+                entries = [(i, -value) for i, value in entries]
+            columns.append(entries)
+        try:
+            self.file.refactor(columns)
+        except FactorizationError as error:
+            raise EngineError(str(error)) from error
+        self.stats.refactorizations += 1
+        self.stats.basis_nnz += self.file.base_nnz()
+
+    def _ftran_column(self, column: int) -> list[int]:
+        """Entering column through the factors: ``den * B^{-1} A_w[:, column]``."""
+        self._ensure_factored()
+        v = [0] * len(self.basis)
+        if self.signs[column] > 0:
+            for index, value in self.cols[column]:
+                v[index] = value
+        else:
+            for index, value in self.cols[column]:
+                v[index] = -value
+        return self.file.ftran(v)
+
+    def _btran_row(self, row_index: int) -> list[int]:
+        """Pivot row through the factors: ``den * (B^{-1} A_w)[row_index, :]``."""
+        self._ensure_factored()
+        seed = [0] * len(self.basis)
+        seed[row_index] = 1
+        t = self.file.btran(seed)
+        w = [0] * self.n_columns
+        rows = self.rows
+        for index, weight in enumerate(t):
+            if weight:
+                for column, value in rows[index]:
+                    w[column] += weight * value
+        signs = self.signs
+        for column in range(self.n_columns):
+            if signs[column] < 0 and w[column]:
+                w[column] = -w[column]
+        return w
+
+    # ------------------------------------------------------------------ #
+    # Column complementation (the bounded-variable substitutions)
+    # ------------------------------------------------------------------ #
+    def _flip_nonbasic(self, column: int, xhat: Sequence[int]) -> None:
+        """Complement a nonbasic column (bound flip); *xhat* is its FTRAN image."""
+        span = self.spans[column]
+        assert span is not None
+        beta = self.beta
+        for index, value in enumerate(xhat):
+            if value:
+                beta[index] -= value * span
+        objective = self.objective
+        coeff = objective[column]
+        if coeff:
+            objective[-1] -= coeff * span
+            objective[column] = -coeff
+        self.bases[column] += self.signs[column] * span
+        self.signs[column] = -self.signs[column]
+        self.stats.bound_flips += 1
+
+    def _complement_basic(self, row_index: int) -> None:
+        """Complement the basic column of one row (leave-at-upper prep).
+
+        The basis column's sign flip negates row ``row_index`` of ``B^{-1}``,
+        recorded as one eta operation (skipped while the file is stale — the
+        pending refactorisation rebuilds from ``signs`` and would discard
+        it).  Only this row's rhs moves, exactly like the dense kernel.
+        """
+        column = self.basis[row_index]
+        span = self.spans[column]
+        assert span is not None
+        self.beta[row_index] = self.file.den * span - self.beta[row_index]
+        if not self.file.stale:
+            self.file.append_negate(row_index)
+            self.stats.eta_entries += 1
+        self.bases[column] += self.signs[column] * span
+        self.signs[column] = -self.signs[column]
+
+    def tighten_column(self, column: int, sense: ConstraintSense, bound: int) -> bool:
+        """Tighten one column's box (same contract as the dense core)."""
+        sign = self.signs[column]
+        base = self.bases[column]
+        span = self.spans[column]
+        if (sense is ConstraintSense.LE) == (sign > 0):
+            limit = (bound - base) if sign > 0 else (base - bound)
+            if limit < 0:
+                return False
+            if span is None or limit < span:
+                self.spans[column] = limit
+            return True
+        shift = (bound - base) if sign > 0 else (base - bound)
+        if shift <= 0:
+            return True
+        if span is not None:
+            if shift > span:
+                return False
+            self.spans[column] = span - shift
+        # beta_i -= xhat_i * shift.  The branching variable is basic (a
+        # nonbasic variable sits on an integral bound and never branches), and
+        # a basic column's FTRAN image is den * e_r — one entry, no solve.
+        try:
+            row_index = self.basis.index(column)
+        except ValueError:
+            xhat = self._ftran_column(column)
+            beta = self.beta
+            for index, value in enumerate(xhat):
+                if value:
+                    beta[index] -= value * shift
+        else:
+            self.beta[row_index] -= self.file.den * shift
+        weight = self.objective[column]
+        if weight:
+            self.objective[-1] -= weight * shift
+        self.bases[column] = base + sign * shift
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Core pivoting
+    # ------------------------------------------------------------------ #
+    def _pivot_apply(
+        self,
+        pivot_row: int,
+        pivot_col: int,
+        xhat: Sequence[int],
+        what: Sequence[int],
+    ) -> None:
+        """One fraction-free basis change given FTRAN column and BTRAN row.
+
+        Applies the dense kernel's pivot formulas to the only dense state kept
+        (rhs and reduced costs) and appends the eta operation.  ``xhat`` and
+        ``what`` computed the pivot cell independently; a mismatch means the
+        factorisation drifted and the engine must not continue.
+        """
+        p = xhat[pivot_row]
+        if p == 0:
+            raise EngineError("zero pivot element")
+        if what[pivot_col] != p:
+            raise EngineError("revised core pivot cross-check failed")
+        den = self.file.den
+        beta = self.beta
+        beta_r = beta[pivot_row]
+        objective = self.objective
+        f = objective[pivot_col]
+        if p > 0:
+            new_objective = [
+                (p * v - f * w) // den for v, w in zip(objective, what)
+            ]
+            new_objective.append((p * objective[-1] - f * beta_r) // den)
+            for index in range(len(beta)):
+                if index != pivot_row:
+                    beta[index] = (p * beta[index] - xhat[index] * beta_r) // den
+        else:
+            new_objective = [
+                (f * w - p * v) // den for v, w in zip(objective, what)
+            ]
+            new_objective.append((f * beta_r - p * objective[-1]) // den)
+            for index in range(len(beta)):
+                if index != pivot_row:
+                    beta[index] = (xhat[index] * beta_r - p * beta[index]) // den
+            beta[pivot_row] = -beta_r
+        self.objective = new_objective
+        self.stats.eta_entries += self.file.append_pivot(pivot_row, xhat)
+        self.basis[pivot_row] = pivot_col
+        self.stats.pivots += 1
+
+    # ------------------------------------------------------------------ #
+    # Objective installation / readout
+    # ------------------------------------------------------------------ #
+    def set_objective(self, costs: Sequence[int]) -> None:
+        """Install integer costs priced out for the basis (dense-core contract)."""
+        costs = list(costs) + [0] * (self.n_columns - len(costs))
+        constant = 0
+        signs = self.signs
+        bases = self.bases
+        for column, cost in enumerate(costs):
+            if cost:
+                constant += cost * bases[column]
+                if signs[column] < 0:
+                    costs[column] = -cost
+        basis = self.basis
+        basic_costs = [costs[basic] for basic in basis]
+        if any(basic_costs):
+            self._ensure_factored()
+            den = self.file.den
+            t = self.file.btran(list(basic_costs))
+            acc = [0] * self.n_columns
+            rows = self.rows
+            for index, weight in enumerate(t):
+                if weight:
+                    for column, value in rows[index]:
+                        acc[column] += weight * value
+            objective = []
+            for column in range(self.n_columns):
+                priced = acc[column]
+                if signs[column] < 0 and priced:
+                    priced = -priced
+                objective.append(costs[column] * den - priced)
+        else:
+            den = self.file.den
+            objective = [cost * den for cost in costs]
+        constant_cell = -constant * den
+        beta = self.beta
+        for index, weight in enumerate(basic_costs):
+            if weight:
+                constant_cell -= weight * beta[index]
+        objective.append(constant_cell)
+        self.objective = objective
+
+    def objective_value(self) -> Fraction:
+        return Fraction(-self.objective[-1], self.file.den)
+
+    def structural_values(self, n_structural: int) -> list[Fraction]:
+        values = [Fraction(base) for base in self.bases[:n_structural]]
+        den = self.file.den
+        for row_index, basic in enumerate(self.basis):
+            if basic < n_structural:
+                values[basic] += Fraction(self.signs[basic] * self.beta[row_index], den)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Row addition (warm path)
+    # ------------------------------------------------------------------ #
+    def add_le_row(self, coefficients: Sequence[int], rhs: int) -> None:
+        """Append ``coefficients . v <= rhs`` with a fresh basic slack.
+
+        Stored entries are the raw coefficients — the sign-neutral system
+        absorbs current complementations through ``signs`` at read time — and
+        only the priced rhs needs computing (a dot over the basic columns of
+        the new row).  The grown row space invalidates the eta operations'
+        indexing, so the file is marked stale; the next FTRAN/BTRAN
+        re-inverts once, however many rows were appended in between.
+        """
+        den = self.file.den
+        coefficients = list(coefficients) + [0] * (self.n_columns - len(coefficients))
+        bases = self.bases
+        signs = self.signs
+        folded_rhs = rhs
+        entries: list[tuple[int, int]] = []
+        for column, value in enumerate(coefficients):
+            if value:
+                folded_rhs -= value * bases[column]
+                entries.append((column, value))
+        coefficient_of = dict(entries)
+        priced = den * folded_rhs
+        beta = self.beta
+        for index, basic in enumerate(self.basis):
+            value = coefficient_of.get(basic)
+            if value:
+                working = value if signs[basic] > 0 else -value
+                priced -= working * beta[index]
+        row_index = len(self.rows)
+        slack_column = self.n_columns
+        cols = self.cols
+        for column, value in entries:
+            cols[column] = cols[column] + [(row_index, value)]
+        cols.append([(row_index, 1)])
+        entries.append((slack_column, 1))
+        self.rows.append(tuple(entries))
+        beta.append(priced)
+        self.basis.append(slack_column)
+        self.objective.insert(-1, 0)
+        self.spans.append(None)
+        self.bases.append(0)
+        self.signs.append(1)
+        self.n_columns += 1
+        self.file.mark_stale(len(self.rows))
+
+    # ------------------------------------------------------------------ #
+    # Primal simplex (used for phase 1 and objective stages)
+    # ------------------------------------------------------------------ #
+    def primal_simplex(self) -> LpStatus:
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise EngineError("primal simplex iteration limit exceeded")
+            use_bland = iterations > _BLAND_SWITCH_ITERATIONS
+            entering = self._entering_primal(use_bland)
+            if entering is None:
+                return LpStatus.OPTIMAL
+            xhat = self._ftran_column(entering)
+            step = self._leaving_primal(entering, xhat, use_bland)
+            if step is None:
+                return LpStatus.UNBOUNDED
+            leaving, at_upper = step
+            if leaving is None:
+                self._flip_nonbasic(entering, xhat)
+                continue
+            if at_upper:
+                self._complement_basic(leaving)
+                xhat[leaving] = -xhat[leaving]
+            what = self._btran_row(leaving)
+            self._pivot_apply(leaving, entering, xhat, what)
+
+    def _entering_primal(self, use_bland: bool) -> int | None:
+        objective = self.objective
+        spans = self.spans
+        best: int | None = None
+        best_value = 0
+        for column in range(self.n_columns):
+            if spans[column] == 0:
+                continue  # fixed variable: can never move off its bound
+            reduced = objective[column]
+            if reduced < 0:
+                if use_bland:
+                    return column
+                if reduced < best_value:
+                    best = column
+                    best_value = reduced
+        return best
+
+    def _leaving_primal(
+        self, entering: int, xhat: Sequence[int], use_bland: bool
+    ) -> tuple[int | None, bool] | None:
+        """Bounded ratio test over the FTRANed entering column.
+
+        Same contract and comparison order as the dense core — ``xhat[i]``
+        and ``beta[i]`` are the cells the dense tableau holds, so the chosen
+        leaving row is identical.
+        """
+        den = self.file.den
+        spans = self.spans
+        basis = self.basis
+        beta = self.beta
+        best_row: int | None = None
+        best_upper = False
+        best_num = 0
+        best_den = 1
+        for row_index in range(len(beta)):
+            coeff = xhat[row_index]
+            if coeff > 0:
+                num = beta[row_index]
+                upper = False
+            elif coeff < 0:
+                span = spans[basis[row_index]]
+                if span is None:
+                    continue
+                num = den * span - beta[row_index]
+                coeff = -coeff
+                upper = True
+            else:
+                continue
+            if best_row is None:
+                best_row, best_num, best_den, best_upper = (
+                    row_index, num, coeff, upper,
+                )
+                continue
+            left = num * best_den
+            right = best_num * coeff
+            if left < right or (
+                left == right
+                and use_bland
+                and basis[row_index] < basis[best_row]
+            ):
+                best_row, best_num, best_den, best_upper = (
+                    row_index, num, coeff, upper,
+                )
+        own_span = spans[entering]
+        if own_span is not None and (
+            best_row is None or own_span * best_den < best_num
+        ):
+            return None, False
+        if best_row is None:
+            return None
+        return best_row, best_upper
+
+    # ------------------------------------------------------------------ #
+    # Dual simplex (used after tightening bounds / adding rows)
+    # ------------------------------------------------------------------ #
+    def dual_simplex(self) -> LpStatus:
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:
+                raise EngineError("dual simplex iteration limit exceeded")
+            use_bland = iterations > _BLAND_SWITCH_ITERATIONS
+            leaving = self._leaving_dual(use_bland)
+            if leaving is None:
+                return LpStatus.OPTIMAL
+            if self.beta[leaving] > 0:
+                # Above-upper violation: complement so it reads as rhs < 0.
+                self._complement_basic(leaving)
+            what = self._btran_row(leaving)
+            entering = self._entering_dual(what)
+            if entering is None:
+                return LpStatus.INFEASIBLE
+            xhat = self._ftran_column(entering)
+            self._pivot_apply(leaving, entering, xhat, what)
+
+    def _leaving_dual(self, use_bland: bool) -> int | None:
+        den = self.file.den
+        spans = self.spans
+        basis = self.basis
+        best_row: int | None = None
+        best_violation = 0
+        for row_index, rhs in enumerate(self.beta):
+            if rhs < 0:
+                violation = -rhs
+            else:
+                span = spans[basis[row_index]]
+                if span is None or rhs <= den * span:
+                    continue
+                violation = rhs - den * span
+            if use_bland:
+                if best_row is None or basis[row_index] < basis[best_row]:
+                    best_row = row_index
+            elif violation > best_violation:
+                best_row = row_index
+                best_violation = violation
+        return best_row
+
+    def _entering_dual(self, what: Sequence[int]) -> int | None:
+        # Minimum ratio z_j / (-a_lj) over a_lj < 0, smallest column on ties
+        # (same Bland-style tie-break as the dense core); *what* is the
+        # BTRANed leaving row.
+        objective = self.objective
+        spans = self.spans
+        best: int | None = None
+        best_z = 0
+        best_coeff = -1
+        for column in range(self.n_columns):
+            coeff = what[column]
+            if coeff >= 0 or spans[column] == 0:
+                continue
+            z = objective[column]
+            if best is None or z * (-best_coeff) < best_z * (-coeff):
+                best, best_z, best_coeff = column, z, coeff
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Phase-1 cleanup
+    # ------------------------------------------------------------------ #
+    def cleanup_artificials(self, first_artificial: int) -> None:
+        """Drive leftover artificials out, drop redundant rows, truncate.
+
+        Mirrors the dense core's post-phase-1 pass: the pivot column is the
+        *first* real column with a non-zero entry in the artificial's row
+        (the BTRANed row holds the same integers the dense row does, so the
+        choice is identical), rows with no such column are redundant and
+        removed.  A removed row's basic column is a unit vector of the old
+        system, so ``|det B|`` — the file denominator — is preserved; the
+        refactorisation check enforces exactly that.
+        """
+        redundant: list[int] = []
+        for row_index, basic in enumerate(list(self.basis)):
+            if basic < first_artificial:
+                continue
+            what = self._btran_row(row_index)
+            pivot_col = next(
+                (
+                    column
+                    for column in range(first_artificial)
+                    if what[column] != 0
+                ),
+                None,
+            )
+            if pivot_col is None:
+                redundant.append(row_index)
+            else:
+                xhat = self._ftran_column(pivot_col)
+                self._pivot_apply(row_index, pivot_col, xhat, what)
+        dropped = set(redundant)
+        keep = [index for index in range(len(self.rows)) if index not in dropped]
+        if dropped:
+            self.beta = [self.beta[index] for index in keep]
+            self.basis = [self.basis[index] for index in keep]
+        # The artificial columns are trailing; strip their entries so later
+        # row scans, refactorisations and added cuts never see them again.
+        self.rows = [
+            tuple(
+                (column, value)
+                for column, value in self.rows[index]
+                if column < first_artificial
+            )
+            for index in keep
+        ]
+        cols: list[list[tuple[int, int]]] = [[] for _ in range(first_artificial)]
+        for index, row in enumerate(self.rows):
+            for column, value in row:
+                cols[column].append((index, value))
+        self.cols = cols
+        self.objective = self.objective[:first_artificial] + [self.objective[-1]]
+        self.spans = self.spans[:first_artificial]
+        self.bases = self.bases[:first_artificial]
+        self.signs = self.signs[:first_artificial]
+        self.n_columns = first_artificial
+        if dropped:
+            self.file.mark_stale(len(self.rows))

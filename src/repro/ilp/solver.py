@@ -23,6 +23,13 @@ apply to the cold relaxation solves.  The ``REPRO_ILP_ENGINE`` environment
 variable overrides the default choice process-wide (useful for A/B timing and
 for differential CI runs).
 
+The incremental engine itself runs on one of two simplex cores
+(``core="revised"`` / ``core="tableau"``, or ``REPRO_ILP_CORE``): the sparse
+revised-simplex core with a factored basis is the default, and the dense
+integer tableau is retained as the differential reference.  Pivot sequences
+are bit-identical between the two, so the choice only affects speed and
+memory, never results.
+
 ``workers=N`` (or ``REPRO_ILP_WORKERS=N``) turns on the parallel branch &
 bound layer (:mod:`repro.ilp.parallel`): sibling subtrees are dispatched
 across a worker pool that lives as long as the solver — one pool serves every
@@ -39,6 +46,8 @@ from fractions import Fraction
 
 from .branch_bound import MilpResult, solve_milp
 from .engine import (
+    _CORE_CHOICES,
+    _default_core,
     EngineError,
     EngineLimitError,
     EngineStatistics,
@@ -99,6 +108,7 @@ class IlpSolver:
         engine: str | None = None,
         workers: int | None = None,
         processes: bool | None = None,
+        core: str | None = None,
     ):
         self.node_limit = node_limit
         self.backend = backend
@@ -112,6 +122,16 @@ class IlpSolver:
                 "drop the backend or pass engine='oracle'"
             )
         self.engine = engine
+        # The simplex core of the incremental engine: "revised" (sparse
+        # factored basis, the default) or "tableau" (the retained dense
+        # differential reference).  REPRO_ILP_CORE overrides process-wide.
+        if core is None:
+            core = _default_core()
+        elif core not in _CORE_CHOICES:
+            raise ValueError(
+                f"unknown simplex core {core!r}; known: {_CORE_CHOICES}"
+            )
+        self.core = core
         self.workers = max(1, int(workers)) if workers is not None else _default_workers()
         self.processes = bool(processes) if processes is not None else _default_processes()
         self._pool = None
@@ -154,6 +174,7 @@ class IlpSolver:
                     workers=self.workers,
                     pool=self.pool,
                     use_processes=self.processes,
+                    core=self.core,
                 )
                 solution = engine.solve()
                 self.solve_count += 1
@@ -182,6 +203,7 @@ class IlpSolver:
         summary["engine_fallbacks"] = self.engine_fallbacks
         summary["workers"] = self.workers
         summary["worker_mode"] = "process" if self.processes else "thread"
+        summary["simplex_core"] = self.core
         return summary
 
     # ------------------------------------------------------------------ #

@@ -181,6 +181,7 @@ class Session:
         parameter_values: Mapping[str, int] | None = None,
         label: str | None = None,
         solver_workers: int | None = None,
+        solver_core: str | None = None,
     ) -> CompilationResult:
         """Run the full pipeline on (*scop*, *config*) and return the result.
 
@@ -193,9 +194,12 @@ class Session:
         schedules; the knob only changes how the solver explores).  It enters
         the configuration — and therefore the result cache key — so compiles
         under different worker counts are cached independently.
+        ``solver_core`` likewise overrides the simplex core (``"revised"`` or
+        ``"tableau"``; both produce bit-identical schedules).
         """
         return self.compile_with_origin(
-            scop, config, machine, parameter_values, label, solver_workers
+            scop, config, machine, parameter_values, label, solver_workers,
+            solver_core,
         ).result
 
     def compile_with_origin(
@@ -206,6 +210,7 @@ class Session:
         parameter_values: Mapping[str, int] | None = None,
         label: str | None = None,
         solver_workers: int | None = None,
+        solver_core: str | None = None,
     ) -> CompileOutcome:
         """Like :meth:`compile`, also reporting where the result came from.
 
@@ -218,6 +223,8 @@ class Session:
         config = config if config is not None else pluto_style()
         if solver_workers is not None and config.solver_workers != solver_workers:
             config = dataclasses.replace(config, solver_workers=solver_workers)
+        if solver_core is not None and config.solver_core != solver_core:
+            config = dataclasses.replace(config, solver_core=solver_core)
         machine = self._resolve_machine(machine)
         label = label or config.name
         key = self._result_key(scop, config, machine, parameter_values)
@@ -521,14 +528,17 @@ def compile(
     parameter_values: Mapping[str, int] | None = None,
     label: str | None = None,
     solver_workers: int | None = None,
+    solver_core: str | None = None,
 ) -> CompilationResult:
     """One-shot compilation through the shared default session.
 
     Runs dependence analysis, scheduling, post-processing, the legality
     check, code generation and (when *machine* is given) cycle estimation,
     returning a structured :class:`CompilationResult`.  ``solver_workers=N``
-    solves the scheduling ILPs with N parallel branch & bound workers
-    (bit-identical schedules, see ``repro.ilp.parallel``).
+    solves the scheduling ILPs with N parallel branch & bound workers;
+    ``solver_core`` picks the simplex core (``"revised"``/``"tableau"``).
+    Both knobs return bit-identical schedules (see ``repro.ilp.parallel``
+    and ``repro.ilp.revised``).
 
     The shared session memoises every result for the lifetime of the
     process; long-running callers compiling many distinct kernels should
@@ -536,7 +546,8 @@ def compile(
     ``default_session().clear()`` / :func:`reset_default_session`.
     """
     return default_session().compile(
-        scop, config, machine, parameter_values, label, solver_workers
+        scop, config, machine, parameter_values, label, solver_workers,
+        solver_core,
     )
 
 

@@ -10,7 +10,7 @@ reconfigurable (Section III of the paper):
 * **options** — coefficient bounds, negative coefficients (Pluto+ mode),
   the default dimensionality-based fusion heuristic, tile sizes for the
   post-processing, and the solver's parallel branch & bound knobs
-  (``solver_workers`` / ``solver_processes``).
+  (``solver_workers`` / ``solver_processes`` / ``solver_core``).
 
 Configurations can be written as JSON documents (Listing 2 of the paper) or
 built programmatically.  The dynamic "C++ interface" of the paper is modelled
@@ -137,6 +137,11 @@ class SchedulerConfig:
     #: solver default (``REPRO_ILP_PROCESSES``), an explicit ``False`` forces
     #: threads even when the environment says processes.
     solver_processes: bool | None = None
+    #: Simplex core of the incremental ILP engine: ``"revised"`` (sparse
+    #: factored basis) or ``"tableau"`` (retained dense reference).
+    #: ``None`` defers to the solver default (``REPRO_ILP_CORE``, which
+    #: defaults to revised).  Both cores produce bit-identical schedules.
+    solver_core: str | None = None
 
     # ------------------------------------------------------------------ #
     # Accessors used by the scheduling loop
@@ -245,6 +250,8 @@ class SchedulerConfig:
         config.solver_workers = int(workers) if workers is not None else None
         processes = options.get("solver_processes")
         config.solver_processes = bool(processes) if processes is not None else None
+        core = options.get("solver_core")
+        config.solver_core = str(core) if core is not None else None
         return config
 
     def to_json(self) -> str:
@@ -290,6 +297,7 @@ class SchedulerConfig:
                     "tile_sizes": list(self.tile_sizes),
                     "solver_workers": self.solver_workers,
                     "solver_processes": self.solver_processes,
+                    "solver_core": self.solver_core,
                 },
             }
         }

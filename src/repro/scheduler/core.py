@@ -115,6 +115,7 @@ class PolyTOPSScheduler:
             dependences=self.dependences,
             workers=self.config.solver_workers,
             processes=self.config.solver_processes,
+            core=self.config.solver_core,
         )
         self.solver = self.solver_context.solver
 

@@ -44,9 +44,14 @@ class SolverContext:
         dependences: tuple[Dependence, ...] | list[Dependence] = (),
         workers: int | None = None,
         processes: bool | None = None,
+        core: str | None = None,
     ):
         self.solver = IlpSolver(
-            node_limit=node_limit, engine=engine, workers=workers, processes=processes
+            node_limit=node_limit,
+            engine=engine,
+            workers=workers,
+            processes=processes,
+            core=core,
         )
         self.row_caches: dict[str, dict[int, list[IlpRow]]] = {}
         self._dependence_index: dict[int, int] = {}

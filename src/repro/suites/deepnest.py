@@ -28,7 +28,10 @@ __all__ = [
     "jacobi_4d",
     "heat_4d",
     "tensor_contract_4d",
+    "tensor_contract_5d",
+    "tensor_contract_6d",
     "sum_reduction_4d",
+    "polymage_deep",
 ]
 
 
@@ -147,6 +150,129 @@ def tensor_contract_4d(
     return b.build()
 
 
+def tensor_contract_5d(
+    ni: int = 5, nj: int = 4, nk: int = 5, nl: int = 4, nm: int = 3, np: int = 4
+) -> Scop:
+    """Rectangular 5-D contraction ``C[i,j,k,l,m] += A[i,j,p] * B[p,k,l,m]``.
+
+    Six-deep nest over deliberately unequal extents: rectangular iteration
+    spaces keep every bounding row distinct, so nothing collapses in the
+    standard-form encoding and the basis carries one box per dimension.
+    """
+    b = ScopBuilder(
+        "tc-5d",
+        parameters={"NI": ni, "NJ": nj, "NK": nk, "NL": nl, "NM": nm, "NP": np},
+    )
+    NI, NJ, NK, NL, NM, NP = b.parameters("NI", "NJ", "NK", "NL", "NM", "NP")
+    b.array("A", NI, NJ, NP)
+    b.array("B", NP, NK, NL, NM)
+    b.array("C", NI, NJ, NK, NL, NM)
+    with b.loop("i", 0, NI) as i:
+        with b.loop("j", 0, NJ) as j:
+            with b.loop("k", 0, NK) as k:
+                with b.loop("l", 0, NL) as l:
+                    with b.loop("m", 0, NM) as m:
+                        b.statement(
+                            writes=[("C", [i, j, k, l, m])],
+                            reads=[],
+                            text="C[i][j][k][l][m] = 0.0;",
+                        )
+                        with b.loop("p", 0, NP) as p:
+                            b.statement(
+                                writes=[("C", [i, j, k, l, m])],
+                                reads=[
+                                    ("C", [i, j, k, l, m]),
+                                    ("A", [i, j, p]),
+                                    ("B", [p, k, l, m]),
+                                ],
+                                text="C[i][j][k][l][m] += A[i][j][p] * B[p][k][l][m];",
+                            )
+    return b.build()
+
+
+def tensor_contract_6d(
+    ni: int = 4,
+    nj: int = 3,
+    nk: int = 4,
+    nl: int = 3,
+    nm: int = 4,
+    nn: int = 3,
+    np: int = 4,
+) -> Scop:
+    """Rectangular 6-D contraction ``C[i,j,k,l,m,n] += A[i,j,k,p] * B[p,l,m,n]``.
+
+    The deepest nest of the suite (seven loops): thirteen iterator
+    dimensions per self-dependence polyhedron, the regime where a dense
+    tableau's quadratic cell count dwarfs what the pivots ever touch.
+    """
+    b = ScopBuilder(
+        "tc-6d",
+        parameters={
+            "NI": ni, "NJ": nj, "NK": nk, "NL": nl, "NM": nm, "NN": nn, "NP": np,
+        },
+    )
+    NI, NJ, NK, NL, NM, NN, NP = b.parameters(
+        "NI", "NJ", "NK", "NL", "NM", "NN", "NP"
+    )
+    b.array("A", NI, NJ, NK, NP)
+    b.array("B", NP, NL, NM, NN)
+    b.array("C", NI, NJ, NK, NL, NM, NN)
+    with b.loop("i", 0, NI) as i:
+        with b.loop("j", 0, NJ) as j:
+            with b.loop("k", 0, NK) as k:
+                with b.loop("l", 0, NL) as l:
+                    with b.loop("m", 0, NM) as m:
+                        with b.loop("n", 0, NN) as n:
+                            b.statement(
+                                writes=[("C", [i, j, k, l, m, n])],
+                                reads=[],
+                                text="C[i][j][k][l][m][n] = 0.0;",
+                            )
+                            with b.loop("p", 0, NP) as p:
+                                b.statement(
+                                    writes=[("C", [i, j, k, l, m, n])],
+                                    reads=[
+                                        ("C", [i, j, k, l, m, n]),
+                                        ("A", [i, j, k, p]),
+                                        ("B", [p, l, m, n]),
+                                    ],
+                                    text=(
+                                        "C[i][j][k][l][m][n] += "
+                                        "A[i][j][k][p] * B[p][l][m][n];"
+                                    ),
+                                )
+    return b.build()
+
+
+def polymage_deep(n: int = 8, stages: int = 6) -> Scop:
+    """PolyMage-style deep pipeline: *stages* chained 2-D stencil stages.
+
+    Alternating horizontal/vertical three-point blurs over one image, each
+    stage consuming the previous stage's output.  The nests are shallow but
+    the producer-consumer chain is long, so the scheduling ILP couples many
+    statements at once — tall constraint systems of short sparse rows, the
+    complementary stress case to the deep single-statement nests above.
+    """
+    if stages < 2:
+        raise ValueError("polymage_deep needs at least two stages")
+    b = ScopBuilder("polymage-deep", parameters={"N": n})
+    (N,) = b.parameters("N")
+    for stage in range(stages + 1):
+        b.array(f"S{stage}", N, N)
+    for stage in range(1, stages + 1):
+        src, dst = f"S{stage - 1}", f"S{stage}"
+        with b.loop(f"i{stage}", 1, N - 1) as i:
+            with b.loop(f"j{stage}", 1, N - 1) as j:
+                if stage % 2 == 1:
+                    reads = [(src, [i, j - 1]), (src, [i, j]), (src, [i, j + 1])]
+                    text = f"{dst}[i][j] = blurx({src}, i, j);"
+                else:
+                    reads = [(src, [i - 1, j]), (src, [i, j]), (src, [i + 1, j])]
+                    text = f"{dst}[i][j] = blury({src}, i, j);"
+                b.statement(writes=[(dst, [i, j])], reads=reads, text=text)
+    return b.build()
+
+
 def sum_reduction_4d(n: int = 5) -> Scop:
     """Chained 4-D reductions: fold a 4-D tensor one axis at a time.
 
@@ -194,7 +320,10 @@ DEEPNEST_KERNELS: dict[str, Callable[..., Scop]] = {
     "jacobi-4d": jacobi_4d,
     "heat-4d": heat_4d,
     "tc-4d": tensor_contract_4d,
+    "tc-5d": tensor_contract_5d,
+    "tc-6d": tensor_contract_6d,
     "sumred-4d": sum_reduction_4d,
+    "polymage-deep": polymage_deep,
 }
 
 

@@ -167,14 +167,14 @@ def brute_force(problem: LinearProblem):
     return best
 
 
-def _solve(problem: LinearProblem, engine: str):
+def _solve(problem: LinearProblem, engine: str, core: str | None = None):
     # Open (unbounded-column) instances can be LP-feasible but integer-
     # infeasible along an unbounded direction — e.g. ``2*x1 + 2*x2 == 1``
     # with both columns open — where branch & bound never terminates and
     # the fraction-free integers blow up.  A small node limit keeps every
     # generated instance cheap; limit hits are reported as an outcome so
     # the caller can discard the example symmetrically.
-    solver = IlpSolver(engine=engine, node_limit=400)
+    solver = IlpSolver(engine=engine, node_limit=400, core=core)
     try:
         solution = solver.solve(problem)
     except ValueError as error:
@@ -189,11 +189,14 @@ def _solve(problem: LinearProblem, engine: str):
 # --------------------------------------------------------------------------- #
 # Differential properties
 # --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("core", ["revised", "tableau"])
 class TestBoxedDifferential:
     @given(problem=boxed_problems())
-    def test_engine_oracle_and_brute_force_agree(self, problem: LinearProblem):
+    def test_engine_oracle_and_brute_force_agree(
+        self, core: str, problem: LinearProblem
+    ):
         expected = brute_force(problem)
-        incremental = IlpSolver(engine="incremental")
+        incremental = IlpSolver(engine="incremental", core=core)
         engine_solution = incremental.solve(problem)
         oracle_solution = IlpSolver(engine="oracle").solve(problem)
 
@@ -210,8 +213,10 @@ class TestBoxedDifferential:
         assert problem.is_feasible_assignment(oracle_solution.assignment)
 
     @given(problem=boxed_problems())
-    def test_engine_incumbents_lie_in_every_box(self, problem: LinearProblem):
-        solution = IlpSolver(engine="incremental").solve(problem)
+    def test_engine_incumbents_lie_in_every_box(
+        self, core: str, problem: LinearProblem
+    ):
+        solution = IlpSolver(engine="incremental", core=core).solve(problem)
         if solution is None:
             return
         for name, variable in problem.variables.items():
@@ -220,10 +225,13 @@ class TestBoxedDifferential:
             assert value.denominator == 1
 
 
+@pytest.mark.parametrize("core", ["revised", "tableau"])
 class TestOpenDifferential:
     @given(problem=open_problems())
-    def test_engine_matches_oracle_with_open_columns(self, problem: LinearProblem):
-        engine_solution, incremental = _solve(problem, "incremental")
+    def test_engine_matches_oracle_with_open_columns(
+        self, core: str, problem: LinearProblem
+    ):
+        engine_solution, incremental = _solve(problem, "incremental", core)
         oracle_solution, _ = _solve(problem, "oracle")
         assert incremental.engine_fallbacks == 0
         # A node-limit hit (either path) means the instance diverged along

@@ -506,8 +506,11 @@ def capture_deepnest_corpus() -> dict:
     cases = {
         "heat-4d": (pluto_style(), isl_style()),
         "tc-4d": (pluto_style(), isl_style()),
+        "tc-5d": (pluto_style(), isl_style()),
+        "tc-6d": (pluto_style(), isl_style()),
         "sumred-4d": (pluto_style(),),
         "jacobi-4d": (pluto_style(),),
+        "polymage-deep": (pluto_style(), isl_style()),
     }
     corpus: dict[str, dict] = {}
     for kernel, configs in cases.items():
