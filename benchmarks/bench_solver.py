@@ -47,7 +47,7 @@ from pathlib import Path
 if __package__ in (None, ""):  # script mode: make `import repro` resolvable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.ilp import IlpSolver, LinearProblem
+from repro.ilp import IlpSolver, LinearProblem, SolverOptions
 from repro.ilp.engine import IncrementalIlpEngine
 
 
@@ -131,7 +131,11 @@ def _solve_all(
     processes: bool = False,
     core: str | None = None,
 ) -> tuple[float, list, IlpSolver]:
-    solver = IlpSolver(engine=engine, workers=workers, processes=processes, core=core)
+    solver = IlpSolver(
+        options=SolverOptions.resolve(
+            engine=engine, workers=workers, processes=processes, core=core
+        )
+    )
     solutions = []
     started = time.perf_counter()
     try:
@@ -298,6 +302,96 @@ def run_deepnest(quick: bool = False) -> dict:
     }
 
 
+def _schedule_leg(
+    kernels: tuple[str, ...], options: SolverOptions
+) -> tuple[dict, dict, dict, float]:
+    """Schedule *kernels* under *options*; rows, node keys, summed counters."""
+    from repro.scheduler.core import PolyTOPSScheduler
+    from repro.scheduler.solver_context import SolverContext
+    from repro.scheduler.strategies import pluto_style
+    from repro.suites.polybench import build_kernel
+
+    rows: dict[str, dict] = {}
+    node_keys: dict[str, list] = {}
+    totals: dict[str, float] = {}
+    recorded: list = []
+    original_solve = SolverContext.solve
+
+    def recording_solve(self, problem):
+        solution = original_solve(self, problem)
+        if solution is not None:
+            recorded.append(solution.node_key)
+        return solution
+
+    started = time.perf_counter()
+    SolverContext.solve = recording_solve
+    try:
+        for kernel in kernels:
+            recorded.clear()
+            config = pluto_style()
+            config.solver_options = options
+            scheduler = PolyTOPSScheduler(build_kernel(kernel), config)
+            result = scheduler.schedule()
+            rows[kernel] = {
+                name: [str(row) for row in statement.rows]
+                for name, statement in result.schedule.statements.items()
+            }
+            node_keys[kernel] = list(recorded)
+            for key, value in scheduler.solver_context.statistics().items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0) + value
+    finally:
+        SolverContext.solve = original_solve
+    return rows, node_keys, totals, time.perf_counter() - started
+
+
+def run_dim_warm(quick: bool = False) -> dict:
+    """Schedule the PolyBench corpus with cross-dimension warm starts on vs off.
+
+    The warm leg turns on both features (``warm_start`` + the opt-in LP
+    ``irredundancy`` pass), the cold leg turns both off.  Bit-identity is the
+    contract: schedule rows *and* the branch & bound ``node_key`` witnesses
+    must match between the two legs — the factored basis carried from
+    dimension *k* to *k+1* (and every row the prober drops) may only change
+    how many pivots the solver spends getting to the same answer.  The
+    counters (``dim_warm_starts``, ``warm_pivots_saved``,
+    ``irredundant_rows_dropped``) are exact for a fixed corpus, so
+    ``perf_gate.py`` gates them with zero tolerance: any decrease means the
+    warm path silently stopped firing.
+    """
+    kernels = (
+        ("gemm", "jacobi-2d")
+        if quick
+        else ("gemm", "gemver", "jacobi-2d", "cholesky")
+    )
+    warm_rows, warm_keys, warm_stats, warm_seconds = _schedule_leg(
+        kernels, SolverOptions.resolve(warm_start=True, irredundancy=True)
+    )
+    cold_rows, cold_keys, cold_stats, cold_seconds = _schedule_leg(
+        kernels, SolverOptions.resolve(warm_start=False, irredundancy=False)
+    )
+    mismatches = sum(
+        1
+        for kernel in kernels
+        if warm_rows[kernel] != cold_rows[kernel]
+        or warm_keys[kernel] != cold_keys[kernel]
+    )
+    return {
+        "quick": quick,
+        "kernels": list(kernels),
+        "warm_seconds": warm_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_pivots": warm_stats.get("pivots", 0),
+        "cold_pivots": cold_stats.get("pivots", 0),
+        "dim_warm_starts": warm_stats.get("dim_warm_starts", 0),
+        "warm_pivots_saved": warm_stats.get("warm_pivots_saved", 0),
+        "warm_aborts": warm_stats.get("warm_aborts", 0),
+        "irredundancy_probes": warm_stats.get("irredundancy_probes", 0),
+        "irredundant_rows_dropped": warm_stats.get("irredundant_rows_dropped", 0),
+        "mismatches": mismatches,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # pytest-benchmark entry point
 # --------------------------------------------------------------------------- #
@@ -305,11 +399,11 @@ def test_solver_benchmark(benchmark):
     problems = synthetic_problems(30) + scheduler_problems(quick=True)
 
     def solve_corpus():
-        solver = IlpSolver(engine="incremental")
+        solver = IlpSolver(options=SolverOptions.resolve(engine="incremental"))
         return [solver.solve(problem) for problem in problems]
 
     engine_solutions = benchmark.pedantic(solve_corpus, iterations=1, rounds=3)
-    oracle = IlpSolver(engine="oracle")
+    oracle = IlpSolver(options=SolverOptions.resolve(engine="oracle"))
     for problem, solution in zip(problems, engine_solutions):
         expected = oracle.solve(problem)
         assert (solution is None) == (expected is None)
@@ -355,6 +449,8 @@ def main(argv: list[str] | None = None) -> int:
     mismatches = report["mismatches"] + report["core_mismatches"]
     report["deepnest_benchmark"] = run_deepnest(quick=arguments.quick)
     mismatches += report["deepnest_benchmark"]["mismatches"]
+    report["dim_warm_benchmark"] = run_dim_warm(quick=arguments.quick)
+    mismatches += report["dim_warm_benchmark"]["mismatches"]
     if arguments.workers:
         report["workers_benchmark"] = run_workers(
             arguments.workers, quick=arguments.quick, processes=arguments.processes

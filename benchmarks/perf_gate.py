@@ -18,6 +18,12 @@ Two checks, in decreasing order of trust:
   factored basis got denser — and ``basis_nnz`` must stay strictly below the
   dense ``tableau_cells`` count (``refactorizations`` and
   ``tableau_cells_saved`` are reported informationally);
+* **cross-dimension warm-start counters** (``dim_warm_starts``,
+  ``warm_pivots_saved``, ``irredundant_rows_dropped`` from the report's
+  ``dim_warm_benchmark`` section) are likewise zero-tolerance: exact for a
+  fixed scheduling corpus, any decrease means the warm path stopped firing;
+  the warm and cold legs must be bit-identical (``mismatches``), installs
+  must never abort, and the warm leg must not spend more pivots than cold;
 * **wall time** (``engine_seconds``) only compares within the same CPU
   budget and interpreter, so it is checked **only when the report's machine
   info matches the baseline's** (same ``cpu_count``, Python
@@ -91,6 +97,19 @@ SPARSE_HIGHER_IS_BETTER = ("fm_rows_pruned",)
 SERVICE_LOWER_IS_BETTER = ("store_misses", "scheduler_runs")
 SERVICE_HIGHER_IS_BETTER = ("store_hits", "memory_hits", "store_puts")
 
+#: Cross-dimension warm-start counters, gated with **zero** tolerance like the
+#: revised-core ones: for a fixed scheduling corpus the number of dimensions
+#: warm-seeded, the basic columns installed from the previous dimension's
+#: factored basis, and the redundant rows dropped by the LP irredundancy pass
+#: are exact integers.  Any decrease means the warm path silently stopped
+#: firing (a broken signature match, a disabled prune) while schedules stay
+#: bit-identical — exactly the regression wall time would hide.
+DIM_WARM_HIGHER_IS_BETTER = (
+    "dim_warm_starts",
+    "warm_pivots_saved",
+    "irredundant_rows_dropped",
+)
+
 
 def _machine_signature(report: dict) -> tuple:
     machine = report.get("machine") or {}
@@ -160,6 +179,45 @@ def compare(report: dict, baseline: dict, threshold: float) -> tuple[list[str], 
                 deepnest.get("speedup") or 0.0,
             )
         )
+
+    dim_warm = report.get("dim_warm_benchmark") or {}
+    if dim_warm:
+        if dim_warm.get("mismatches"):
+            failures.append(
+                "warm-start schedules diverge from the cold leg "
+                f"(rows or node_key): {dim_warm['mismatches']}"
+            )
+        if dim_warm.get("warm_aborts"):
+            failures.append(
+                f"warm-basis installs aborted {dim_warm['warm_aborts']} times "
+                "— the engine fell back to cold rebuilds"
+            )
+        warm_pivots = dim_warm.get("warm_pivots")
+        cold_pivots = dim_warm.get("cold_pivots")
+        if warm_pivots is not None and cold_pivots is not None:
+            line = f"dim-warm pivots: warm {warm_pivots} vs cold {cold_pivots}"
+            if warm_pivots > cold_pivots:
+                # The warm leg's whole reason to exist: reusing the previous
+                # dimension's basis must never cost pivots on net.
+                failures.append(f"warm leg spends more pivots than cold: {line}")
+            else:
+                notes.append(line)
+        baseline_dim_warm = baseline.get("dim_warm_benchmark") or {}
+        for counter in DIM_WARM_HIGHER_IS_BETTER:
+            before = baseline_dim_warm.get(counter)
+            after = dim_warm.get(counter)
+            if before is None or after is None:
+                notes.append(f"dim-warm counter {counter!r} missing; skipped")
+                continue
+            line = f"{counter}: {before} -> {after}"
+            if after < before:
+                failures.append(
+                    f"dim-warm regression: {line} — the cross-dimension warm "
+                    "path stopped firing (zero tolerance: these counters are "
+                    "exact for a fixed corpus)"
+                )
+            else:
+                notes.append(line)
 
     for counter in REVISED_STRICT_COUNTERS:
         before = baseline_stats.get(counter)

@@ -19,7 +19,9 @@ from .engine import (
     EngineLimitError,
     EngineStatistics,
     IncrementalIlpEngine,
+    WarmHint,
 )
+from .options import SolverOptions
 from .parallel import IncumbentStore, ParallelBranchAndBound, WorkerPool
 from .problem import (
     ConstraintSense,
@@ -55,6 +57,8 @@ __all__ = [
     "EngineLimitError",
     "EngineStatistics",
     "IncrementalIlpEngine",
+    "WarmHint",
+    "SolverOptions",
     "IncumbentStore",
     "ParallelBranchAndBound",
     "WorkerPool",

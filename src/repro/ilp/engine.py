@@ -60,6 +60,7 @@ __all__ = [
     "EngineLimitError",
     "EngineStatistics",
     "IncrementalIlpEngine",
+    "WarmHint",
 ]
 
 _BLAND_SWITCH_ITERATIONS = 500
@@ -104,6 +105,27 @@ class EngineLimitError(EngineError):
     """
 
 
+@dataclass(frozen=True)
+class WarmHint:
+    """Name-space snapshot of an optimal basis, detached from any tableau.
+
+    ``entries`` pairs a *row signature* with the identity of the variable
+    that was basic in that row.  Signatures live in the named-variable space
+    (sorted ``(identity, coefficient)`` pairs plus sense and right-hand
+    side), so a hint exported from dimension *k*'s problem can seed
+    dimension *k+1*'s tableau wherever the two share rows — the scheduler's
+    legality blocks — while rows unique to either problem simply fail to
+    match and keep their slack.  Identities are ``("v", name)`` for a
+    structural column, ``("v-", name)`` for the negative half of a split
+    variable, and ``("s", row_signature)`` for the slack of a row.
+
+    Hints are pure data (tuples of strings and integers): picklable,
+    hashable, and valid across processes and re-encodes.
+    """
+
+    entries: tuple[tuple[tuple, tuple], ...] = ()
+
+
 @dataclass
 class EngineStatistics:
     """Counters describing the work performed by one or more engine solves.
@@ -128,6 +150,9 @@ class EngineStatistics:
     incumbent_updates: int = 0
     bound_flips: int = 0
     rows_saved: int = 0
+    dim_warm_starts: int = 0
+    warm_pivots_saved: int = 0
+    warm_aborts: int = 0
     tableau_rows: int = 0
     basis_nnz: int = 0
     eta_entries: int = 0
@@ -164,6 +189,9 @@ class EngineStatistics:
             "incumbent_updates": self.incumbent_updates,
             "bound_flips": self.bound_flips,
             "rows_saved": self.rows_saved,
+            "dim_warm_starts": self.dim_warm_starts,
+            "warm_pivots_saved": self.warm_pivots_saved,
+            "warm_aborts": self.warm_aborts,
             "tableau_rows": self.tableau_rows,
             "basis_nnz": self.basis_nnz,
             "eta_entries": self.eta_entries,
@@ -650,14 +678,15 @@ class _IntegerTableau:
     # ------------------------------------------------------------------ #
     # Phase-1 cleanup
     # ------------------------------------------------------------------ #
-    def cleanup_artificials(self, first_artificial: int) -> None:
+    def cleanup_artificials(self, first_artificial: int) -> list[int]:
         """Drive leftover artificials out of the basis and truncate them away.
 
         Rows whose artificial cannot pivot on any real column are redundant
         (all-zero over the real columns) and are dropped.  The artificial
         columns are trailing — every column at or past *first_artificial* —
         so the truncation leaves later pivots, copies and added cuts a
-        tableau that never sees them again.
+        tableau that never sees them again.  Returns the surviving rows'
+        pre-cleanup indices (callers re-align row metadata with it).
         """
         redundant: list[int] = []
         for row_index, basic in enumerate(list(self.basis)):
@@ -676,6 +705,12 @@ class _IntegerTableau:
                 redundant.append(row_index)
             else:
                 self.pivot(row_index, pivot_col)
+        dropped = set(redundant)
+        keep = [
+            row_index
+            for row_index in range(len(self.rows))
+            if row_index not in dropped
+        ]
         for row_index in sorted(redundant, reverse=True):
             del self.rows[row_index]
             del self.basis[row_index]
@@ -688,6 +723,7 @@ class _IntegerTableau:
         self.bases = self.bases[:first_artificial]
         self.signs = self.signs[:first_artificial]
         self.n_columns = first_artificial
+        return keep
 
 
 class _BranchNode:
@@ -748,6 +784,7 @@ class IncrementalIlpEngine:
         pool=None,
         use_processes: bool = False,
         core: str | None = None,
+        warm_hint: WarmHint | None = None,
     ):
         self.problem = problem
         self.node_limit = node_limit
@@ -755,6 +792,7 @@ class IncrementalIlpEngine:
         self.workers = max(1, int(workers))
         self.pool = pool
         self.use_processes = use_processes
+        self.warm_hint = warm_hint
         if core is None:
             core = _default_core()
         elif core not in _CORE_CHOICES:
@@ -804,8 +842,15 @@ class IncrementalIlpEngine:
             self._append_base_row({name: Fraction(1)}, ConstraintSense.LE, upper)
         self.stats.encode_seconds += time.perf_counter() - started
 
-        # The root tableau of the last solve (either core's type).
+        # The root tableau of the last solve (either core's type), plus the
+        # identity maps that let its final basis be exported as a WarmHint:
+        # _row_ids[i] is the base-row signature behind tableau row i (None
+        # for rows with no stable identity, e.g. frozen objective stages)
+        # and _col_ids maps tableau columns to WarmHint identities.
         self._tableau = None
+        self._row_signatures: list[tuple] | None = None
+        self._row_ids: list[tuple | None] = []
+        self._col_ids: dict[int, tuple] = {}
 
     def __getstate__(self):
         # Shipped to forked branch & bound workers: the pool holds thread
@@ -914,6 +959,63 @@ class IncrementalIlpEngine:
         return integer[:-1], integer[-1], offset
 
     # ------------------------------------------------------------------ #
+    # Warm-hint identities
+    # ------------------------------------------------------------------ #
+    def _structural_identities(self) -> list[tuple]:
+        """Per-column WarmHint identity of every structural column."""
+        identities: list[tuple] = [()] * self.n_structural
+        for name, column in self._encoder.column_of.items():
+            identities[column] = ("v", name)
+        for name, column in self._encoder.negative_column_of.items():
+            identities[column] = ("v-", name)
+        return identities
+
+    def _base_row_signatures(self) -> list[tuple]:
+        """Name-space signature of every base row (stable across problems).
+
+        Signatures are computed from the GCD-reduced standard-form pairs, so
+        two problems produce equal signatures exactly when they share the
+        row up to the encoder's (deterministic) column layout of the named
+        variables involved.
+        """
+        if self._row_signatures is None:
+            identities = self._structural_identities()
+            signatures = []
+            for pairs, sense, rhs in self._base_rows:
+                named = tuple(
+                    sorted((identities[column], value) for column, value in pairs)
+                )
+                signatures.append((named, sense.value, rhs))
+            self._row_signatures = signatures
+        return self._row_signatures
+
+    def export_warm_hint(self) -> WarmHint | None:
+        """Snapshot the last solve's final basis as a :class:`WarmHint`.
+
+        Only rows and basic columns with stable identities are exported
+        (frozen-stage rows and their slacks are skipped); ``None`` when no
+        tableau survives the solve.  Works for either core — the *import*
+        side is what requires the revised core.
+        """
+        tableau = self._tableau
+        if tableau is None:
+            return None
+        row_ids = self._row_ids
+        col_ids = self._col_ids
+        entries = []
+        for row_index, basic in enumerate(tableau.basis):
+            if row_index >= len(row_ids):
+                break  # frozen-stage rows appended past the identified ones
+            signature = row_ids[row_index]
+            identity = col_ids.get(basic)
+            if signature is None or identity is None:
+                continue
+            entries.append((signature, identity))
+        if not entries:
+            return None
+        return WarmHint(tuple(entries))
+
+    # ------------------------------------------------------------------ #
     # Root tableau (phase 1, run once)
     # ------------------------------------------------------------------ #
     def _build_root(self):
@@ -956,16 +1058,25 @@ class IncrementalIlpEngine:
         )
         total = n_structural + n_slack + n_artificial
 
+        signatures = self._base_row_signatures()
+        col_ids: dict[int, tuple] = {
+            column: identity
+            for column, identity in enumerate(self._structural_identities())
+            if identity
+        }
         row_specs: list[tuple[tuple[tuple[int, int], ...], int]] = []
         basis: list[int] = []
         artificial_columns: list[int] = []
         slack_index = 0
         artificial_index = 0
-        for pairs, sense, rhs in specs:
+        for index, (pairs, sense, rhs) in enumerate(specs):
             entries = list(pairs)
             if sense is not ConstraintSense.EQ:
                 column = n_structural + slack_index
                 entries.append((column, 1 if sense is ConstraintSense.LE else -1))
+                # A GE row's surplus equals a.x - b whether or not the row
+                # was sign-flipped above, so the identity is flip-stable.
+                col_ids[column] = ("s", signatures[index])
                 slack_index += 1
             if sense is ConstraintSense.LE:
                 basis.append(n_structural + slack_index - 1)
@@ -976,6 +1087,7 @@ class IncrementalIlpEngine:
                 basis.append(column)
                 artificial_index += 1
             row_specs.append((tuple(entries), rhs))
+        self._col_ids = col_ids
 
         spans = list(self._column_spans) + [None] * (total - n_structural)
         dense_cells = len(row_specs) * (total + 1)
@@ -995,6 +1107,7 @@ class IncrementalIlpEngine:
             tableau = _IntegerTableau(rows, basis, total, self.stats, spans)
         self.stats.tableau_rows += len(row_specs)
         self.stats.tableau_cells += dense_cells
+        self._row_ids = list(signatures)
         if not artificial_columns:
             return tableau
 
@@ -1013,7 +1126,177 @@ class IncrementalIlpEngine:
 
         # Drive leftover artificials out of the basis, drop redundant rows
         # and truncate the trailing artificial columns away.
-        tableau.cleanup_artificials(n_structural + n_slack)
+        keep = tableau.cleanup_artificials(n_structural + n_slack)
+        self._row_ids = [self._row_ids[index] for index in keep]
+        return tableau
+
+    def _build_root_any(self):
+        """Root tableau via the warm path when a usable hint exists, else cold.
+
+        The warm path is revised-core only (the dense tableau has no factored
+        basis to install into); any :class:`EngineError` it raises — a
+        singular hinted basis that also defeats the slack fallback, a dual
+        simplex iteration limit — must never change the verdict, so the root
+        is simply rebuilt cold.
+        """
+        hint = self.warm_hint
+        if hint is not None and hint.entries and self.core == "revised":
+            try:
+                tableau = self._build_root_warm(hint)
+            except EngineError:
+                self.stats.warm_aborts += 1
+            else:
+                self.stats.dim_warm_starts += 1
+                return tableau
+        return self._build_root()
+
+    def _build_root_warm(self, hint: WarmHint):
+        """Feasible root seeded from *hint*'s basis, or ``None`` when LP-infeasible.
+
+        Instead of phase 1, every base row is normalised to ``<=`` with one
+        slack — equality rows get a span-0 slack pinned at its bound, which
+        no pivot rule ever moves, so the equality is enforced exactly — and
+        the hinted basis is installed over the factored eta file.  The dual
+        simplex then repairs primal feasibility under a zero objective (any
+        basis is dual-feasible for it); ``INFEASIBLE`` here is the same
+        LP-emptiness verdict phase 1 would reach.  When the hint matches
+        well, the repair takes a handful of pivots where phase 1 would walk
+        the whole basis in.
+        """
+        from .revised import _RevisedTableau
+
+        n_structural = self.n_structural
+        signatures = self._base_row_signatures()
+        row_specs: list[tuple[tuple[tuple[int, int], ...], int]] = []
+        slack_spans: list[int | None] = []
+        for pairs, sense, rhs in self._base_rows:
+            if sense is ConstraintSense.GE:
+                pairs = tuple((column, -value) for column, value in pairs)
+                rhs = -rhs
+            entries = list(pairs)
+            slack_column = n_structural + len(row_specs)
+            entries.append((slack_column, 1))
+            slack_spans.append(0 if sense is ConstraintSense.EQ else None)
+            row_specs.append((tuple(entries), rhs))
+        m = len(row_specs)
+        total = n_structural + m
+        basis = [n_structural + index for index in range(m)]
+        spans = list(self._column_spans) + slack_spans
+        tableau = _RevisedTableau(row_specs, list(basis), total, self.stats, spans)
+        dense_cells = m * (total + 1)
+        self.stats.tableau_rows += m
+        self.stats.tableau_cells += dense_cells
+        self.stats.tableau_cells_saved += dense_cells - tableau.stored_cells()
+
+        structural_of = {
+            identity: column
+            for column, identity in enumerate(self._structural_identities())
+            if identity
+        }
+        rows_by_signature: dict[tuple, list[int]] = {}
+        for index, signature in enumerate(signatures):
+            rows_by_signature.setdefault(signature, []).append(index)
+        # Duplicate signatures are matched positionally; the row and slack
+        # cursors advance independently so a basis permutation among equal
+        # rows still lands on distinct rows/columns.
+        row_cursor = dict.fromkeys(rows_by_signature, 0)
+        slack_cursor = dict.fromkeys(rows_by_signature, 0)
+
+        placements: list[tuple[int, int]] = []
+        used: set[int] = set()
+        deferred: list[int] = []
+
+        def resolve_column(identity: tuple) -> int | None:
+            if identity[0] == "s":
+                owner = rows_by_signature.get(identity[1])
+                if owner is None:
+                    return None
+                cursor = slack_cursor[identity[1]]
+                if cursor >= len(owner):
+                    return None
+                slack_cursor[identity[1]] = cursor + 1
+                return n_structural + owner[cursor]
+            return structural_of.get(identity)
+
+        for signature, identity in hint.entries:
+            indices = rows_by_signature.get(signature)
+            row_index = None
+            if indices is not None:
+                cursor = row_cursor[signature]
+                if cursor < len(indices):
+                    row_index = indices[cursor]
+                    row_cursor[signature] = cursor + 1
+            column = resolve_column(identity)
+            if column is None or column in used:
+                continue
+            used.add(column)
+            if row_index is not None:
+                placements.append((row_index, column))
+            else:
+                # The basic column survived but its row did not (the
+                # scheduler's progression rows change shape every dimension).
+                # A basis is really a column *set* — refactorisation picks
+                # elimination rows freely — so the column can be kept basic
+                # on any row whose own slack is still unplaced.
+                deferred.append(column)
+
+        if deferred:
+            placed_rows = {row_index for row_index, _ in placements}
+            leftover = [
+                row_index for row_index in range(m) if row_index not in placed_rows
+            ]
+            support: dict[int, set[int]] = {}
+            for row_index, (entries, _) in enumerate(row_specs):
+                for column, _ in entries:
+                    support.setdefault(column, set()).add(row_index)
+            for column in deferred:
+                rows_with_support = support.get(column, ())
+                for position, row_index in enumerate(leftover):
+                    # The column must have a non-zero on the row whose slack
+                    # it displaces, else the basis is trivially singular.
+                    if row_index in rows_with_support:
+                        placements.append((row_index, column))
+                        del leftover[position]
+                        break
+
+        # An unmatched row keeps its own slack basic; if a placement claimed
+        # that slack for another row the basis would repeat a column, so the
+        # claiming placement is dropped instead.
+        placed_rows = {row_index for row_index, _ in placements}
+        conflicts = {
+            n_structural + row_index
+            for row_index in range(m)
+            if row_index not in placed_rows
+        } & used
+        if conflicts:
+            placements = [
+                (row_index, column)
+                for row_index, column in placements
+                if column not in conflicts
+            ]
+
+        warm_basis = list(basis)
+        for row_index, column in placements:
+            warm_basis[row_index] = column
+        installed = 0
+        if warm_basis != basis and tableau.install_basis(warm_basis):
+            installed = sum(
+                1
+                for row_index, column in enumerate(warm_basis)
+                if column != n_structural + row_index
+            )
+        self.stats.warm_pivots_saved += installed
+
+        pivots_before = self.stats.pivots
+        status = tableau.dual_simplex()
+        self.stats.phase1_pivots += self.stats.pivots - pivots_before
+        if status is LpStatus.INFEASIBLE:
+            return None
+        self._row_ids = list(signatures)
+        col_ids = {column: identity for identity, column in structural_of.items()}
+        for index, signature in enumerate(signatures):
+            col_ids[n_structural + index] = ("s", signature)
+        self._col_ids = col_ids
         return tableau
 
     # ------------------------------------------------------------------ #
@@ -1225,7 +1508,7 @@ class IncrementalIlpEngine:
         started = time.perf_counter()
         self.stats.solves += 1
         try:
-            tableau = self._build_root()
+            tableau = self._build_root_any()
             if tableau is None:
                 return None
             self._tableau = tableau

@@ -1,0 +1,208 @@
+"""One front door for every solver knob: :class:`SolverOptions`.
+
+Before this module the solver surface had sprawled: ``IlpSolver`` grew five
+constructor kwargs, four ``REPRO_ILP_*`` environment variables were parsed in
+three different modules, ``SchedulerConfig`` carried three ``solver_*``
+fields, and per-call overrides existed only on ``Session.compile``.
+:class:`SolverOptions` is now the *single* resolution point:
+
+* :meth:`SolverOptions.from_env` reads every ``REPRO_ILP_*`` variable once,
+  loudly (a typo in any of them raises ``ValueError`` instead of being
+  silently coerced);
+* :meth:`SolverOptions.with_overrides` layers explicit choices (config
+  fields, per-call kwargs) on top without disturbing the rest;
+* ``to_dict``/``from_dict`` round-trip through ``SchedulerConfig`` JSON so
+  options participate in content fingerprints and the service wire format.
+
+The legacy kwargs (``IlpSolver(engine=..., workers=...)``,
+``SchedulerConfig.solver_workers``, ``Session.compile(solver_workers=...)``)
+remain functional as deprecated aliases that fold into an options object.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+__all__ = ["SolverOptions", "ENGINE_CHOICES", "CORE_CHOICES"]
+
+#: Engine selection: the incremental warm-started engine or the dense oracle.
+ENGINE_CHOICES = ("incremental", "oracle")
+
+#: Simplex core of the incremental engine: sparse revised (default) or the
+#: retained dense integer tableau (differential reference).
+CORE_CHOICES = ("revised", "tableau")
+
+_TRUE_WORDS = ("1", "true", "yes", "on")
+_FALSE_WORDS = ("0", "false", "no", "off")
+
+
+def _parse_bool(variable: str, raw: str, default: bool) -> bool:
+    """Parse a boolean environment variable loudly.
+
+    The empty string means "unset" and yields *default*; anything that is not
+    a recognised true/false word raises — ``REPRO_ILP_PROCESSES=garbage``
+    used to silently mean ``False``, which hid typos forever.
+    """
+    word = raw.strip().lower()
+    if not word:
+        return default
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ValueError(
+        f"{variable}={raw!r} is not a boolean; "
+        f"use one of {_TRUE_WORDS + _FALSE_WORDS}"
+    )
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Every knob of the ILP solver stack, resolved once and passed around.
+
+    Instances are frozen (hashable, safely shareable across threads and
+    cached sessions); derive variants with :meth:`with_overrides`.
+    """
+
+    engine: str = "incremental"
+    core: str = "revised"
+    workers: int = 1
+    processes: bool = False
+    node_limit: int = 20000
+    #: Carry the factored basis across scheduling dimensions (bit-identical
+    #: schedules, fewer pivots on chained bands).
+    warm_start: bool = True
+    #: Opt-in: prune cached row blocks by exact LP probes before encoding.
+    #: Sound and bit-identical, but one LP per row — on the in-tree corpora
+    #: the probes cost more wall time than the dropped rows save, so this
+    #: defaults off until the prober learns to amortise (see ROADMAP).
+    irredundancy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINE_CHOICES}"
+            )
+        if self.core not in CORE_CHOICES:
+            raise ValueError(
+                f"unknown simplex core {self.core!r}; choose from {CORE_CHOICES}"
+            )
+        object.__setattr__(self, "workers", max(1, int(self.workers)))
+        object.__setattr__(self, "node_limit", int(self.node_limit))
+        object.__setattr__(self, "processes", bool(self.processes))
+        object.__setattr__(self, "warm_start", bool(self.warm_start))
+        object.__setattr__(self, "irredundancy", bool(self.irredundancy))
+
+    # -- construction ----------------------------------------------------- #
+    @classmethod
+    def from_env(cls) -> "SolverOptions":
+        """Resolve the defaults from the ``REPRO_ILP_*`` environment.
+
+        Every variable is validated here, and *only* here: a typo in any of
+        them (``REPRO_ILP_ENGINE=incrmental``, ``REPRO_ILP_WORKERS=two``,
+        ``REPRO_ILP_PROCESSES=garbage``) raises ``ValueError`` instead of
+        being silently ignored.
+        """
+        defaults = cls()
+        engine = os.environ.get("REPRO_ILP_ENGINE", "").strip().lower()
+        if not engine:
+            engine = defaults.engine
+        elif engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"REPRO_ILP_ENGINE={engine!r} is not one of {ENGINE_CHOICES}"
+            )
+        core = os.environ.get("REPRO_ILP_CORE", "").strip().lower()
+        if not core:
+            core = defaults.core
+        elif core not in CORE_CHOICES:
+            raise ValueError(
+                f"REPRO_ILP_CORE={core!r} is not one of {CORE_CHOICES}"
+            )
+        workers_raw = os.environ.get("REPRO_ILP_WORKERS", "").strip()
+        if workers_raw:
+            try:
+                workers = int(workers_raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_ILP_WORKERS={workers_raw!r} is not an integer worker count"
+                ) from None
+            if workers < 1:
+                raise ValueError(f"REPRO_ILP_WORKERS={workers} must be >= 1")
+        else:
+            workers = defaults.workers
+        processes = _parse_bool(
+            "REPRO_ILP_PROCESSES",
+            os.environ.get("REPRO_ILP_PROCESSES", ""),
+            defaults.processes,
+        )
+        warm_start = _parse_bool(
+            "REPRO_ILP_WARM_START",
+            os.environ.get("REPRO_ILP_WARM_START", ""),
+            defaults.warm_start,
+        )
+        irredundancy = _parse_bool(
+            "REPRO_ILP_IRREDUNDANCY",
+            os.environ.get("REPRO_ILP_IRREDUNDANCY", ""),
+            defaults.irredundancy,
+        )
+        return cls(
+            engine=engine,
+            core=core,
+            workers=workers,
+            processes=processes,
+            warm_start=warm_start,
+            irredundancy=irredundancy,
+        )
+
+    @classmethod
+    def resolve(cls, **overrides: Any) -> "SolverOptions":
+        """Environment defaults with explicit *overrides* layered on top."""
+        return cls.from_env().with_overrides(**overrides)
+
+    def with_overrides(
+        self,
+        *,
+        engine: str | None = None,
+        core: str | None = None,
+        workers: int | None = None,
+        processes: bool | None = None,
+        node_limit: int | None = None,
+        warm_start: bool | None = None,
+        irredundancy: bool | None = None,
+    ) -> "SolverOptions":
+        """A copy with the non-``None`` overrides applied (validated)."""
+        changes: dict[str, Any] = {}
+        if engine is not None:
+            changes["engine"] = engine
+        if core is not None:
+            changes["core"] = core
+        if workers is not None:
+            changes["workers"] = workers
+        if processes is not None:
+            changes["processes"] = processes
+        if node_limit is not None:
+            changes["node_limit"] = node_limit
+        if warm_start is not None:
+            changes["warm_start"] = warm_start
+        if irredundancy is not None:
+            changes["irredundancy"] = irredundancy
+        if not changes:
+            return self
+        return replace(self, **changes)
+
+    # -- serialisation ---------------------------------------------------- #
+    def to_dict(self) -> dict:
+        """A JSON-compatible dictionary (round-trips via :meth:`from_dict`)."""
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolverOptions":
+        known = {field.name for field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown solver option(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**{str(key): value for key, value in data.items()})

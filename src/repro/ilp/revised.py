@@ -147,7 +147,7 @@ class _RevisedTableau:
         if file.stale or file.update_ops > threshold:
             self._refactor()
 
-    def _refactor(self) -> None:
+    def _refactor(self, check_den: bool = True) -> None:
         columns: list[Sequence[tuple[int, int]]] = []
         cols = self.cols
         signs = self.signs
@@ -157,11 +157,34 @@ class _RevisedTableau:
                 entries = [(i, -value) for i, value in entries]
             columns.append(entries)
         try:
-            self.file.refactor(columns)
+            self.file.refactor(columns, check_den=check_den)
         except FactorizationError as error:
             raise EngineError(str(error)) from error
         self.stats.refactorizations += 1
         self.stats.basis_nnz += self.file.base_nnz()
+
+    def install_basis(self, basis: Sequence[int]) -> bool:
+        """Adopt *basis* on a freshly built root (cross-dimension warm start).
+
+        Only valid while the tableau still is the slack-identity root
+        (``den == 1``, ``beta`` holding the raw right-hand sides): the new
+        basis is factored from scratch — its determinant is unknown to the
+        file, so the denominator cross-check is waived — and ``beta`` is
+        re-derived as ``den * B^{-1} b``.  A singular basis reverts to the
+        slack identity and returns ``False``; the tableau stays usable
+        either way.
+        """
+        rhs = list(self.beta)
+        previous = self.basis
+        self.basis = list(basis)
+        try:
+            self._refactor(check_den=False)
+        except EngineError:
+            self.basis = previous
+            self.file = EtaFile(len(self.rows))
+            return False
+        self.beta = self.file.ftran(rhs)
+        return True
 
     def _ftran_column(self, column: int) -> list[int]:
         """Entering column through the factors: ``den * B^{-1} A_w[:, column]``."""
@@ -585,7 +608,7 @@ class _RevisedTableau:
     # ------------------------------------------------------------------ #
     # Phase-1 cleanup
     # ------------------------------------------------------------------ #
-    def cleanup_artificials(self, first_artificial: int) -> None:
+    def cleanup_artificials(self, first_artificial: int) -> list[int]:
         """Drive leftover artificials out, drop redundant rows, truncate.
 
         Mirrors the dense core's post-phase-1 pass: the pivot column is the
@@ -594,7 +617,8 @@ class _RevisedTableau:
         choice is identical), rows with no such column are redundant and
         removed.  A removed row's basic column is a unit vector of the old
         system, so ``|det B|`` — the file denominator — is preserved; the
-        refactorisation check enforces exactly that.
+        refactorisation check enforces exactly that.  Returns the surviving
+        rows' pre-cleanup indices (same contract as the dense core).
         """
         redundant: list[int] = []
         for row_index, basic in enumerate(list(self.basis)):
@@ -641,3 +665,4 @@ class _RevisedTableau:
         self.n_columns = first_artificial
         if dropped:
             self.file.mark_stale(len(self.rows))
+        return keep

@@ -41,105 +41,97 @@ workers for CPU-bound corpora where the GIL serialises thread workers.
 
 from __future__ import annotations
 
-import os
+import warnings
 from fractions import Fraction
 
 from .branch_bound import MilpResult, solve_milp
 from .engine import (
-    _CORE_CHOICES,
-    _default_core,
     EngineError,
     EngineLimitError,
     EngineStatistics,
     IncrementalIlpEngine,
+    WarmHint,
 )
+from .options import SolverOptions
 from .problem import ConstraintSense, LinearProblem
 from .simplex import LpStatus
 from .solution import IlpSolution
 
 __all__ = ["IlpSolution", "IlpSolver"]
 
-_ENGINE_CHOICES = ("incremental", "oracle")
-
-
-def _default_engine() -> str:
-    choice = os.environ.get("REPRO_ILP_ENGINE", "incremental").strip().lower()
-    if choice not in _ENGINE_CHOICES:
-        # A typo here would silently validate the engine against itself in a
-        # differential run; fail loudly instead.
-        raise ValueError(
-            f"REPRO_ILP_ENGINE={choice!r} is not a known engine; "
-            f"known: {_ENGINE_CHOICES}"
-        )
-    return choice
-
-
-def _default_workers() -> int:
-    raw = os.environ.get("REPRO_ILP_WORKERS", "").strip()
-    if not raw:
-        return 1
-    try:
-        workers = int(raw)
-    except ValueError as error:
-        raise ValueError(
-            f"REPRO_ILP_WORKERS={raw!r} is not an integer worker count"
-        ) from error
-    if workers < 1:
-        raise ValueError(f"REPRO_ILP_WORKERS={workers} must be >= 1")
-    return workers
-
-
-def _default_processes() -> bool:
-    return os.environ.get("REPRO_ILP_PROCESSES", "").strip().lower() in (
-        "1",
-        "true",
-        "yes",
-        "on",
-    )
-
 
 class IlpSolver:
-    """Solve :class:`LinearProblem` instances with lexicographic objectives."""
+    """Solve :class:`LinearProblem` instances with lexicographic objectives.
+
+    All knobs live on one frozen :class:`SolverOptions` object
+    (``IlpSolver(options=SolverOptions(...))``); the per-knob constructor
+    kwargs (``engine=``, ``workers=``, ``processes=``, ``core=``) remain as
+    deprecated aliases that fold into the options.
+    """
 
     def __init__(
         self,
-        node_limit: int = 20000,
+        node_limit: int | None = None,
         backend=None,
         engine: str | None = None,
         workers: int | None = None,
         processes: bool | None = None,
         core: str | None = None,
+        options: SolverOptions | None = None,
     ):
-        self.node_limit = node_limit
+        legacy = [
+            name
+            for name, value in (
+                ("engine", engine),
+                ("workers", workers),
+                ("processes", processes),
+                ("core", core),
+            )
+            if value is not None
+        ]
+        if legacy:
+            warnings.warn(
+                f"IlpSolver({', '.join(legacy)}=...) is deprecated; "
+                "pass options=SolverOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        # Environment typos must stay loud even when a REPRO_ILP_CORE-style
+        # override was supplied explicitly, so resolve from the environment
+        # whenever no explicit options object short-circuits it.
+        resolved = options if options is not None else SolverOptions.from_env()
+        resolved = resolved.with_overrides(
+            engine=engine,
+            core=core,
+            workers=workers,
+            processes=processes,
+            node_limit=node_limit,
+        )
         self.backend = backend
-        if engine is None:
-            engine = "oracle" if backend is not None else _default_engine()
-        if engine not in _ENGINE_CHOICES:
-            raise ValueError(f"unknown ILP engine {engine!r}; known: {_ENGINE_CHOICES}")
-        if backend is not None and engine != "oracle":
-            raise ValueError(
-                "an explicit LP backend only applies to the oracle path; "
-                "drop the backend or pass engine='oracle'"
-            )
-        self.engine = engine
-        # The simplex core of the incremental engine: "revised" (sparse
-        # factored basis, the default) or "tableau" (the retained dense
-        # differential reference).  REPRO_ILP_CORE overrides process-wide.
-        if core is None:
-            core = _default_core()
-        elif core not in _CORE_CHOICES:
-            raise ValueError(
-                f"unknown simplex core {core!r}; known: {_CORE_CHOICES}"
-            )
-        self.core = core
-        self.workers = max(1, int(workers)) if workers is not None else _default_workers()
-        self.processes = bool(processes) if processes is not None else _default_processes()
+        if backend is not None:
+            if (engine is not None or options is not None) and resolved.engine != "oracle":
+                raise ValueError(
+                    "an explicit LP backend only applies to the oracle path; "
+                    "drop the backend or pass engine='oracle'"
+                )
+            resolved = resolved.with_overrides(engine="oracle")
+        self.options = resolved
+        self.engine = resolved.engine
+        self.core = resolved.core
+        self.workers = resolved.workers
+        self.processes = resolved.processes
+        self.node_limit = resolved.node_limit
         self._pool = None
         self.solve_count = 0
         self.oracle_solve_count = 0
         self.engine_fallbacks = 0
         self.oracle_nodes = 0
         self.oracle_iterations = 0
+        #: The factored-basis hint exported by the most recent successful
+        #: engine solve (``None`` until one happens); callers chaining
+        #: related problems — the scheduler's per-dimension ILPs — feed it
+        #: back via ``solve(problem, warm_hint=...)``.
+        self.last_warm_hint: WarmHint | None = None
         self.statistics = EngineStatistics()
 
     # ------------------------------------------------------------------ #
@@ -163,28 +155,52 @@ class IlpSolver:
     # ------------------------------------------------------------------ #
     # Entry points
     # ------------------------------------------------------------------ #
-    def solve(self, problem: LinearProblem) -> IlpSolution | None:
-        """Return the lexicographically optimal solution, or ``None`` when infeasible."""
+    def solve(
+        self, problem: LinearProblem, warm_hint: WarmHint | None = None
+    ) -> IlpSolution | None:
+        """Return the lexicographically optimal solution, or ``None`` when infeasible.
+
+        ``warm_hint`` seeds the engine's root tableau from a previous solve's
+        factored basis (see :meth:`IncrementalIlpEngine.export_warm_hint`);
+        results are bit-identical with or without it.  After a successful
+        engine solve :attr:`last_warm_hint` holds the hint for the next
+        related problem.
+        """
         if self.engine == "incremental":
-            try:
-                engine = IncrementalIlpEngine(
-                    problem,
-                    self.node_limit,
-                    stats=self.statistics,
-                    workers=self.workers,
-                    pool=self.pool,
-                    use_processes=self.processes,
-                    core=self.core,
-                )
-                solution = engine.solve()
-                self.solve_count += 1
-                return solution
-            except EngineLimitError as error:
-                # The oracle would grind through the same exponential search;
-                # fail fast with its error instead of solving twice.
-                raise RuntimeError(str(error)) from error
-            except EngineError:
-                self.engine_fallbacks += 1
+            attempts = [warm_hint] if warm_hint is not None else [None]
+            if warm_hint is not None:
+                # A hint must never change the answer; if the warm path trips
+                # an internal inconsistency, retry cold before falling back
+                # to the oracle.
+                attempts.append(None)
+            for attempt, hint in enumerate(attempts):
+                try:
+                    engine = IncrementalIlpEngine(
+                        problem,
+                        self.node_limit,
+                        stats=self.statistics,
+                        workers=self.workers,
+                        pool=self.pool,
+                        use_processes=self.processes,
+                        core=self.core,
+                        warm_hint=hint,
+                    )
+                    solution = engine.solve()
+                    self.solve_count += 1
+                    exported = engine.export_warm_hint()
+                    if exported is not None:
+                        # An infeasible solve leaves no basis to export; keep
+                        # the previous hint rather than dropping warm state.
+                        self.last_warm_hint = exported
+                    return solution
+                except EngineLimitError as error:
+                    # The oracle would grind through the same exponential
+                    # search; fail fast with its error instead of solving
+                    # twice.
+                    raise RuntimeError(str(error)) from error
+                except EngineError:
+                    if attempt == len(attempts) - 1:
+                        self.engine_fallbacks += 1
         return self._solve_oracle(problem)
 
     def is_feasible(self, problem: LinearProblem) -> bool:

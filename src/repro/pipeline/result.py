@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from ..deps.dependence import Dependence
+from ..ilp.options import SolverOptions
 from ..machine.cost_model import PerformanceReport
 from ..machine.machine import MachineModel
 from ..model.schedule import Schedule
@@ -32,6 +33,7 @@ class CompilationJob:
     machine: MachineModel | str | None = None
     parameter_values: Mapping[str, int] | None = None
     label: str | None = None
+    solver: SolverOptions | None = None
 
     def to_dict(self) -> dict:
         """A JSON-compatible description of the job.
@@ -55,6 +57,7 @@ class CompilationJob:
             if self.parameter_values is not None
             else None,
             "label": self.label,
+            "solver": self.solver.to_dict() if self.solver is not None else None,
         }
 
     @classmethod
@@ -67,6 +70,7 @@ class CompilationJob:
         else:
             machine = machine_data
         parameter_values = data.get("parameter_values")
+        solver_data = data.get("solver")
         return cls(
             scop=serialize.decode_scop(data["scop"]),
             config=SchedulerConfig.from_json(config_json) if config_json else None,
@@ -75,6 +79,9 @@ class CompilationJob:
             if parameter_values is not None
             else None,
             label=data.get("label"),
+            solver=SolverOptions.from_dict(solver_data)
+            if solver_data is not None
+            else None,
         )
 
 

@@ -16,10 +16,12 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Mapping, NamedTuple, Sequence
 
 from ..deps.dependence import Dependence
+from ..ilp.options import SolverOptions
 from ..machine.machine import MachineModel, machine_by_name
 from ..model.scop import Scop
 from ..scheduler.baselines import Baseline
@@ -182,6 +184,7 @@ class Session:
         label: str | None = None,
         solver_workers: int | None = None,
         solver_core: str | None = None,
+        solver: SolverOptions | None = None,
     ) -> CompilationResult:
         """Run the full pipeline on (*scop*, *config*) and return the result.
 
@@ -189,17 +192,18 @@ class Session:
         equivalent configuration (same serialised content, same machine, same
         parameter values) returns the cached :class:`CompilationResult`.
 
-        ``solver_workers`` overrides the configuration's parallel branch &
-        bound worker count for this compile (any value returns bit-identical
-        schedules; the knob only changes how the solver explores).  It enters
-        the configuration — and therefore the result cache key — so compiles
-        under different worker counts are cached independently.
-        ``solver_core`` likewise overrides the simplex core (``"revised"`` or
-        ``"tableau"``; both produce bit-identical schedules).
+        ``solver`` overrides the configuration's
+        :class:`~repro.ilp.options.SolverOptions` for this compile (every
+        knob on it returns bit-identical schedules; it only changes how the
+        solver explores).  It enters the configuration — and therefore the
+        result cache key — so compiles under different solver options are
+        cached independently.  The per-knob ``solver_workers`` /
+        ``solver_core`` arguments are deprecated aliases for the matching
+        fields of ``solver``.
         """
         return self.compile_with_origin(
             scop, config, machine, parameter_values, label, solver_workers,
-            solver_core,
+            solver_core, solver,
         ).result
 
     def compile_with_origin(
@@ -211,6 +215,7 @@ class Session:
         label: str | None = None,
         solver_workers: int | None = None,
         solver_core: str | None = None,
+        solver: SolverOptions | None = None,
     ) -> CompileOutcome:
         """Like :meth:`compile`, also reporting where the result came from.
 
@@ -220,7 +225,24 @@ class Session:
         inserted into the in-memory cache, so it is paid at most once per
         fingerprint per session.
         """
+        legacy = [
+            name
+            for name, value in (
+                ("solver_workers", solver_workers),
+                ("solver_core", solver_core),
+            )
+            if value is not None
+        ]
+        if legacy:
+            warnings.warn(
+                f"compile({', '.join(legacy)}=...) is deprecated; "
+                "pass solver=SolverOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         config = config if config is not None else pluto_style()
+        if solver is not None and config.solver_options != solver:
+            config = dataclasses.replace(config, solver_options=solver)
         if solver_workers is not None and config.solver_workers != solver_workers:
             config = dataclasses.replace(config, solver_workers=solver_workers)
         if solver_core is not None and config.solver_core != solver_core:
@@ -285,6 +307,7 @@ class Session:
         machine: MachineModel | str | None = None,
         parameter_values: Mapping[str, int] | None = None,
         label: str = "best",
+        solver: SolverOptions | None = None,
     ) -> CompilationResult:
         """Compile every candidate and keep the fastest (the paper's 'best of')."""
         configs = list(configs)
@@ -304,6 +327,7 @@ class Session:
             machine_fingerprint(machine) if machine else None,
             self._knobs(),
             label,
+            solver,
         )
         with self._lock:
             cached = self._results.get(alias)
@@ -312,7 +336,7 @@ class Session:
                 return cached
         best: CompilationResult | None = None
         for config in configs:
-            result = self.compile(scop, config, machine, parameter_values)
+            result = self.compile(scop, config, machine, parameter_values, solver=solver)
             if result.cycles is None:
                 raise ValueError(
                     "compile_best needs an evaluating pipeline (machine model set)"
@@ -330,10 +354,16 @@ class Session:
         baseline: Baseline,
         machine: MachineModel | str | None = None,
         parameter_values: Mapping[str, int] | None = None,
+        solver: SolverOptions | None = None,
     ) -> CompilationResult:
         """Compile a baseline scheduler (best over its candidate configurations)."""
         return self.compile_best(
-            scop, baseline.configs(), machine, parameter_values, label=baseline.name
+            scop,
+            baseline.configs(),
+            machine,
+            parameter_values,
+            label=baseline.name,
+            solver=solver,
         )
 
     # ------------------------------------------------------------------ #
@@ -481,7 +511,12 @@ class Session:
     def _compile_job(self, job: CompilationJob) -> CompilationResult:
         try:
             return self.compile(
-                job.scop, job.config, job.machine, job.parameter_values, job.label
+                job.scop,
+                job.config,
+                job.machine,
+                job.parameter_values,
+                job.label,
+                solver=job.solver,
             )
         except Exception as error:  # batch mode: isolate per-job failures
             config = job.config if job.config is not None else pluto_style()
@@ -529,16 +564,18 @@ def compile(
     label: str | None = None,
     solver_workers: int | None = None,
     solver_core: str | None = None,
+    solver: SolverOptions | None = None,
 ) -> CompilationResult:
     """One-shot compilation through the shared default session.
 
     Runs dependence analysis, scheduling, post-processing, the legality
     check, code generation and (when *machine* is given) cycle estimation,
-    returning a structured :class:`CompilationResult`.  ``solver_workers=N``
-    solves the scheduling ILPs with N parallel branch & bound workers;
-    ``solver_core`` picks the simplex core (``"revised"``/``"tableau"``).
-    Both knobs return bit-identical schedules (see ``repro.ilp.parallel``
-    and ``repro.ilp.revised``).
+    returning a structured :class:`CompilationResult`.  ``solver`` overrides
+    the solver stack's :class:`~repro.ilp.options.SolverOptions` for this
+    compile; every knob on it returns bit-identical schedules (see
+    ``repro.ilp.parallel``, ``repro.ilp.revised`` and the cross-dimension
+    warm starts in ``repro.ilp.engine``).  ``solver_workers`` /
+    ``solver_core`` are deprecated per-knob aliases.
 
     The shared session memoises every result for the lifetime of the
     process; long-running callers compiling many distinct kernels should
@@ -547,7 +584,7 @@ def compile(
     """
     return default_session().compile(
         scop, config, machine, parameter_values, label, solver_workers,
-        solver_core,
+        solver_core, solver,
     )
 
 

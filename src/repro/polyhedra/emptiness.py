@@ -21,6 +21,7 @@ import math
 from fractions import Fraction
 from typing import Mapping
 
+from ..ilp.options import SolverOptions
 from ..ilp.problem import ConstraintSense, LinearProblem
 from ..ilp.solver import IlpSolver
 from .polyhedron import Polyhedron
@@ -28,6 +29,7 @@ from .space import CONSTANT_KEY
 
 __all__ = [
     "BatchProbe",
+    "RedundancyProber",
     "is_integer_empty",
     "find_integer_point",
     "enumerate_integer_points",
@@ -69,7 +71,7 @@ class BatchProbe:
     """
 
     def __init__(self) -> None:
-        self.solver = IlpSolver(workers=1)
+        self.solver = IlpSolver(options=SolverOptions.resolve(workers=1))
         self._verdicts: dict[tuple, dict[str, int] | None] = {}
         self.probes = 0
         self.trivial_hits = 0
@@ -125,6 +127,141 @@ class BatchProbe:
         }
 
 
+class RedundancyProber:
+    """LP-based irredundancy for cached scheduler row blocks.
+
+    ``prune(rows, boxes)`` returns the subset of *rows* (``(coefficients,
+    sense, rhs)`` triples over named variables) whose inequality rows are not
+    already implied by the remaining rows over the variable *boxes*: a
+    ``>=`` row is dropped exactly when the LP minimum of its left-hand side
+    over the rest of the block (and the boxes) already reaches the
+    right-hand side, and symmetrically for ``<=``.  Equality rows are never
+    dropped.  The variables are relaxed to continuous — the engine's
+    branching only fires on integer variables, so each probe is one pure LP
+    over a tiny block — and implication over the full boxes stays valid for
+    every later tightening (a pinned statement shrinks its box), which is
+    what lets the pruned block live in the run-wide cache.
+
+    Verdicts are cached by the block's canonical signature, so replaying the
+    same dependence block under another dimension (or another run sharing
+    the prober) costs a dictionary lookup.  An infeasible block is returned
+    untouched: emptiness is the scheduler's verdict to reach, not the
+    prober's.
+    """
+
+    def __init__(self, options: SolverOptions | None = None) -> None:
+        # workers=1 for the same reason as BatchProbe: probe LPs are tiny
+        # and must not spin up a worker pool under a REPRO_ILP_WORKERS
+        # default.
+        resolved = options if options is not None else SolverOptions.from_env()
+        self.solver = IlpSolver(options=resolved.with_overrides(workers=1))
+        self._verdicts: dict[tuple, tuple[int, ...]] = {}
+        self.probes = 0
+        self.reuse_hits = 0
+        self.rows_dropped = 0
+
+    @staticmethod
+    def _row_key(row) -> tuple:
+        coefficients, sense, rhs = row
+        return (
+            tuple(
+                sorted(
+                    (name, Fraction(value))
+                    for name, value in coefficients.items()
+                    if Fraction(value) != 0
+                )
+            ),
+            str(sense),
+            Fraction(rhs),
+        )
+
+    def prune(self, rows, boxes: Mapping[str, tuple]) -> list:
+        """The irredundant subset of *rows* over the variable *boxes*."""
+        rows = list(rows)
+        if len(rows) < 2:
+            return rows
+        row_keys = [self._row_key(row) for row in rows]
+        names = sorted({name for key in row_keys for name, _ in key[0]})
+        signature = (
+            tuple(row_keys),
+            tuple((name, boxes.get(name)) for name in names),
+        )
+        cached = self._verdicts.get(signature)
+        if cached is not None:
+            self.reuse_hits += 1
+            return [rows[index] for index in cached]
+
+        kept = list(range(len(rows)))
+        for index in range(len(rows)):
+            coefficients, sense, rhs = rows[index]
+            sense = str(sense)
+            if sense not in ("<=", ">=") or index not in kept:
+                continue
+            others = [position for position in kept if position != index]
+            if not others:
+                break
+            verdict = self._implied(
+                coefficients, sense, Fraction(rhs), [rows[p] for p in others], boxes
+            )
+            if verdict is None:
+                # Infeasible block: leave it whole for the scheduler to see.
+                kept = list(range(len(rows)))
+                break
+            if verdict:
+                kept = others
+                self.rows_dropped += 1
+        self._verdicts[signature] = tuple(kept)
+        return [rows[index] for index in kept]
+
+    def _implied(
+        self,
+        coefficients: Mapping[str, Fraction],
+        sense: str,
+        rhs: Fraction,
+        others,
+        boxes: Mapping[str, tuple],
+    ) -> bool | None:
+        """Whether the candidate row is implied by *others* over the boxes.
+
+        ``None`` flags an infeasible block.  An unbounded objective means the
+        extreme value escapes the candidate's bound, i.e. not implied.
+        """
+        self.probes += 1
+        problem = LinearProblem()
+        names = set(coefficients)
+        for other_coefficients, _, _ in others:
+            names.update(other_coefficients)
+        for name in sorted(names):
+            lower, upper = boxes.get(name, (None, None))
+            problem.add_variable(name, lower=lower, upper=upper, is_integer=False)
+        for other_coefficients, other_sense, other_rhs in others:
+            problem.add_constraint(dict(other_coefficients), other_sense, other_rhs)
+        if sense == ">=":
+            problem.add_objective(dict(coefficients))
+        else:
+            problem.add_objective(
+                {name: -value for name, value in coefficients.items()}
+            )
+        try:
+            solution = self.solver.solve(problem)
+        except ValueError:
+            return False  # unbounded: the block cannot imply the row
+        if solution is None:
+            return None
+        extreme = solution.objective_values[0]
+        if sense == ">=":
+            return extreme >= rhs
+        return -extreme <= rhs
+
+    def statistics(self) -> dict[str, int]:
+        """Prober counters (run totals, cheap to read at any point)."""
+        return {
+            "irredundancy_probes": self.probes,
+            "irredundancy_reuse_hits": self.reuse_hits,
+            "irredundant_rows_dropped": self.rows_dropped,
+        }
+
+
 def is_integer_empty(polyhedron: Polyhedron) -> bool:
     """True when the polyhedron contains no integer point."""
     return find_integer_point(polyhedron) is None
@@ -141,7 +278,7 @@ def find_integer_point(polyhedron: Polyhedron) -> dict[str, int] | None:
     # workers=1 pins the probe to the sequential path: these feasibility
     # trees are tiny, and a throwaway solver must not spin up a worker pool
     # per probe under a REPRO_ILP_WORKERS default.
-    solution = IlpSolver(workers=1).solve(problem)
+    solution = IlpSolver(options=SolverOptions.resolve(workers=1)).solve(problem)
     if solution is None:
         return None
     return {name: int(value) for name, value in solution.assignment.items()}

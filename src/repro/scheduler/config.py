@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
+from ..ilp.options import SolverOptions
 from .errors import ConfigurationError
 
 __all__ = [
@@ -142,6 +143,21 @@ class SchedulerConfig:
     #: ``None`` defers to the solver default (``REPRO_ILP_CORE``, which
     #: defaults to revised).  Both cores produce bit-identical schedules.
     solver_core: str | None = None
+    #: One :class:`~repro.ilp.options.SolverOptions` object for the whole
+    #: solver stack (engine, core, workers, warm starts, irredundancy).
+    #: ``None`` resolves from the environment; the per-field knobs above act
+    #: as overrides on top of it either way.
+    solver_options: SolverOptions | None = None
+
+    def resolved_solver_options(self) -> SolverOptions:
+        """The effective solver options: base object (or environment) plus
+        the per-field ``solver_*`` overrides."""
+        base = self.solver_options if self.solver_options is not None else SolverOptions.from_env()
+        return base.with_overrides(
+            workers=self.solver_workers,
+            processes=self.solver_processes,
+            core=self.solver_core,
+        )
 
     # ------------------------------------------------------------------ #
     # Accessors used by the scheduling loop
@@ -252,6 +268,12 @@ class SchedulerConfig:
         config.solver_processes = bool(processes) if processes is not None else None
         core = options.get("solver_core")
         config.solver_core = str(core) if core is not None else None
+        solver_options = options.get("solver_options")
+        if solver_options is not None:
+            try:
+                config.solver_options = SolverOptions.from_dict(solver_options)
+            except (TypeError, ValueError) as error:
+                raise ConfigurationError(f"invalid solver_options: {error}") from error
         return config
 
     def to_json(self) -> str:
@@ -298,6 +320,11 @@ class SchedulerConfig:
                     "solver_workers": self.solver_workers,
                     "solver_processes": self.solver_processes,
                     "solver_core": self.solver_core,
+                    "solver_options": (
+                        self.solver_options.to_dict()
+                        if self.solver_options is not None
+                        else None
+                    ),
                 },
             }
         }

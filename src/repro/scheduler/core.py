@@ -113,9 +113,7 @@ class PolyTOPSScheduler:
         # the stable dependence indices shared by every scheduling dimension.
         self.solver_context = SolverContext(
             dependences=self.dependences,
-            workers=self.config.solver_workers,
-            processes=self.config.solver_processes,
-            core=self.config.solver_core,
+            options=self.config.resolved_solver_options(),
         )
         self.solver = self.solver_context.solver
 

@@ -261,6 +261,7 @@ class JobManager:
                 request["machine"],
                 request["parameter_values"],
                 request["label"],
+                solver=request.get("solver"),
             )
             job.result = outcome.result
             job.origin = outcome.origin
@@ -336,6 +337,7 @@ class CompileService:
             request["machine"],
             request["parameter_values"],
             request["label"],
+            solver=request.get("solver"),
         )
         return 200, encode_result(
             outcome.result, cache=outcome.origin, fingerprint=outcome.fingerprint

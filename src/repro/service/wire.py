@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
+from ..ilp.options import SolverOptions
 from ..machine.machine import MachineModel, machine_by_name
 from ..model.scop import Scop
 from ..pipeline.result import CompilationResult
@@ -78,6 +79,7 @@ def encode_compile_request(
     machine: MachineModel | str | None = None,
     parameter_values: Mapping[str, int] | None = None,
     label: str | None = None,
+    solver: SolverOptions | None = None,
 ) -> dict:
     """The client-side encoding of one compile/job submission."""
     encoded_machine: Any
@@ -92,15 +94,16 @@ def encode_compile_request(
         "machine": encoded_machine,
         "parameter_values": dict(parameter_values) if parameter_values is not None else None,
         "label": label,
+        "solver_options": solver.to_dict() if solver is not None else None,
     }
 
 
 def decode_compile_request(payload: Any) -> dict:
     """Validate and decode a compile request into pipeline-ready objects.
 
-    Returns ``{"scop", "config", "machine", "parameter_values", "label"}``.
-    Raises :class:`WireError` with an explicit code on every malformed part;
-    a traceback never reaches the client.
+    Returns ``{"scop", "config", "machine", "parameter_values", "label",
+    "solver"}``.  Raises :class:`WireError` with an explicit code on every
+    malformed part; a traceback never reaches the client.
     """
     payload = _check_version(payload, "compile request")
     scop_data = payload.get("scop")
@@ -152,12 +155,25 @@ def decode_compile_request(payload: Any) -> dict:
     if label is not None and not isinstance(label, str):
         raise WireError("invalid_label", "'label' must be a string")
 
+    solver: SolverOptions | None = None
+    solver_data = payload.get("solver_options")
+    if solver_data is not None:
+        if not isinstance(solver_data, Mapping):
+            raise WireError("invalid_solver_options", "'solver_options' must be an object")
+        try:
+            solver = SolverOptions.from_dict(solver_data)
+        except (TypeError, ValueError) as error:
+            raise WireError(
+                "invalid_solver_options", "cannot decode 'solver_options'", str(error)
+            )
+
     return {
         "scop": scop,
         "config": config,
         "machine": machine,
         "parameter_values": parameter_values,
         "label": label,
+        "solver": solver,
     }
 
 

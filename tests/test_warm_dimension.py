@@ -1,0 +1,311 @@
+"""Cross-dimension warm starts, irredundancy and the SolverOptions front door.
+
+The hard contract of the warm path is **bit-identity**: a factored-basis hint
+(or the LP-based irredundancy pruning of cached row blocks) must never change
+a schedule, an objective value, or even a branch & bound ``node_key`` — only
+the pivot counts getting there.  These tests pin that contract on the golden
+kernels, differentially on random problems under hypothesis, and at the
+soundness level for the row pruning itself.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import IlpSolver, LinearProblem, SolverOptions
+from repro.ilp.options import CORE_CHOICES
+from repro.polyhedra.emptiness import RedundancyProber
+from repro.scheduler.config import SchedulerConfig
+
+
+# --------------------------------------------------------------------------- #
+# Scheduler-level bit-identity: warm on vs off
+# --------------------------------------------------------------------------- #
+def _capture(kernel: str, config, warm: bool, irredundancy: bool):
+    """Schedule rows, node keys and solver statistics for one run."""
+    from repro.scheduler.core import PolyTOPSScheduler
+    from repro.scheduler.solver_context import SolverContext
+    from repro.suites.polybench import build_kernel
+
+    config.solver_options = SolverOptions(warm_start=warm, irredundancy=irredundancy)
+    node_keys = []
+    original_solve = SolverContext.solve
+
+    def recording_solve(self, problem):
+        solution = original_solve(self, problem)
+        if solution is not None:
+            node_keys.append(solution.node_key)
+        return solution
+
+    SolverContext.solve = recording_solve
+    try:
+        scheduler = PolyTOPSScheduler(build_kernel(kernel), config)
+        result = scheduler.schedule()
+    finally:
+        SolverContext.solve = original_solve
+    rows = {
+        name: [str(row) for row in statement.rows]
+        for name, statement in result.schedule.statements.items()
+    }
+    return rows, node_keys, scheduler.solver_context.statistics()
+
+
+@pytest.mark.parametrize("kernel", ["gemm", "gemver", "jacobi-2d", "cholesky"])
+def test_warm_start_bit_identity_on_golden_kernels(kernel):
+    from repro.scheduler.strategies import pluto_style
+
+    rows_on, keys_on, stats_on = _capture(kernel, pluto_style(), True, True)
+    rows_off, keys_off, stats_off = _capture(kernel, pluto_style(), False, False)
+    assert rows_on == rows_off
+    assert keys_on == keys_off
+    assert stats_on["warm_aborts"] == 0
+    # The warm path must actually engage past the first dimension.
+    if stats_on["solve_calls"] > 1:
+        assert stats_on["dim_warm_starts"] > 0
+
+
+def test_warm_start_saves_pivots_where_dimensions_chain():
+    """jacobi-2d has deep bands; the warm basis must measurably cut pivots."""
+    from repro.scheduler.strategies import pluto_style
+
+    _, _, stats_on = _capture("jacobi-2d", pluto_style(), True, False)
+    _, _, stats_off = _capture("jacobi-2d", pluto_style(), False, False)
+    assert stats_on["dim_warm_starts"] > 0
+    assert stats_on["warm_pivots_saved"] > 0
+    assert stats_on["pivots"] < stats_off["pivots"]
+
+
+def test_irredundancy_drops_rows_without_changing_schedules():
+    from repro.scheduler.strategies import isl_style
+
+    rows_on, keys_on, stats_on = _capture("gemver", isl_style(), False, True)
+    rows_off, keys_off, stats_off = _capture("gemver", isl_style(), False, False)
+    assert rows_on == rows_off
+    assert keys_on == keys_off
+    assert stats_on["irredundant_rows_dropped"] > 0
+    assert stats_off["irredundant_rows_dropped"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Engine-level differential: warm hint never changes the answer
+# --------------------------------------------------------------------------- #
+def _random_problem(draw_rows, bounds, objective):
+    problem = LinearProblem()
+    names = [f"x{i}" for i in range(len(bounds))]
+    for name, upper in zip(names, bounds):
+        problem.add_variable(name, 0, upper)
+    for coeffs, sense, rhs in draw_rows:
+        row = {names[i]: Fraction(c) for i, c in enumerate(coeffs) if c}
+        if row:
+            problem.add_constraint(row, sense, rhs)
+    problem.add_objective(
+        {names[i]: Fraction(c) for i, c in enumerate(objective) if c}
+    )
+    return problem
+
+
+row_strategy = st.tuples(
+    st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+    st.sampled_from([">=", "<=", "=="]),
+    st.integers(-4, 8),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows_a=st.lists(row_strategy, min_size=1, max_size=5),
+    rows_b=st.lists(row_strategy, min_size=1, max_size=5),
+    shared=st.lists(row_strategy, min_size=0, max_size=3),
+    bounds=st.lists(st.integers(1, 6), min_size=3, max_size=3),
+    objective=st.lists(st.integers(-2, 3), min_size=3, max_size=3),
+    core=st.sampled_from(CORE_CHOICES),
+)
+def test_warm_hint_differential(rows_a, rows_b, shared, bounds, objective, core):
+    """solve(B, hint-from-A) == solve(B) for related random problems, both cores."""
+    options = SolverOptions(core=core)
+    warm_solver = IlpSolver(options=options)
+    warm_solver.solve(_random_problem(shared + rows_a, bounds, objective))
+    hint = warm_solver.last_warm_hint
+
+    problem_b = _random_problem(shared + rows_b, bounds, objective)
+    warm = warm_solver.solve(problem_b, warm_hint=hint)
+    cold = IlpSolver(options=options).solve(
+        _random_problem(shared + rows_b, bounds, objective)
+    )
+    if cold is None:
+        assert warm is None
+    else:
+        assert warm is not None
+        assert warm.assignment == cold.assignment
+        assert warm.objective_values == cold.objective_values
+        assert warm.node_key == cold.node_key
+
+
+# --------------------------------------------------------------------------- #
+# Irredundancy soundness
+# --------------------------------------------------------------------------- #
+def _enumerate_box_points(boxes, names):
+    points = [{}]
+    for name in names:
+        lower, upper = boxes[name]
+        points = [
+            {**point, name: value}
+            for point in points
+            for value in range(int(lower), int(upper) + 1)
+        ]
+    return points
+
+
+def _satisfies(point, row):
+    coefficients, sense, rhs = row
+    lhs = sum(Fraction(c) * point.get(n, 0) for n, c in coefficients.items())
+    if str(sense) == ">=":
+        return lhs >= rhs
+    if str(sense) == "<=":
+        return lhs <= rhs
+    return lhs == rhs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.lists(st.integers(-2, 2), min_size=2, max_size=2),
+            st.sampled_from([">=", "<=", "=="]),
+            st.integers(-3, 5),
+        ),
+        min_size=2,
+        max_size=6,
+    )
+)
+def test_prune_is_sound_over_the_boxes(rows):
+    """Every point of the box satisfying the kept rows satisfies the dropped."""
+    boxes = {"a": (0, 3), "b": (0, 3)}
+    block = [
+        ({"a": Fraction(ca), "b": Fraction(cb)}, sense, Fraction(rhs))
+        for (ca, cb), sense, rhs in rows
+        if ca or cb
+    ]
+    if not block:
+        return
+    prober = RedundancyProber(SolverOptions())
+    kept = prober.prune(block, boxes)
+    dropped = [row for row in block if row not in kept]
+    for point in _enumerate_box_points(boxes, ["a", "b"]):
+        if all(_satisfies(point, row) for row in kept):
+            for row in dropped:
+                assert _satisfies(point, row), (point, row, kept)
+
+
+def test_prune_drops_a_dominated_row_and_caches_the_verdict():
+    prober = RedundancyProber(SolverOptions())
+    block = [
+        ({"a": Fraction(1)}, ">=", Fraction(2)),
+        ({"a": Fraction(1)}, ">=", Fraction(1)),  # implied by the first row
+    ]
+    boxes = {"a": (0, 10)}
+    kept = prober.prune(block, boxes)
+    assert kept == [block[0]]
+    assert prober.rows_dropped == 1
+    again = prober.prune(list(block), boxes)
+    assert again == [block[0]]
+    assert prober.statistics()["irredundancy_reuse_hits"] == 1
+
+
+def test_prune_never_drops_equalities_and_keeps_infeasible_blocks_whole():
+    prober = RedundancyProber(SolverOptions())
+    equalities = [
+        ({"a": Fraction(1)}, "==", Fraction(2)),
+        ({"a": Fraction(2)}, "==", Fraction(4)),  # same line, still kept
+    ]
+    assert prober.prune(equalities, {"a": (0, 10)}) == equalities
+    infeasible = [
+        ({"a": Fraction(1)}, ">=", Fraction(5)),
+        ({"a": Fraction(1)}, "<=", Fraction(1)),
+        ({"a": Fraction(1)}, ">=", Fraction(0)),
+    ]
+    assert prober.prune(infeasible, {"a": (0, 10)}) == infeasible
+
+
+# --------------------------------------------------------------------------- #
+# SolverOptions: the single front door
+# --------------------------------------------------------------------------- #
+def test_legacy_solver_kwargs_warn_and_fold_into_options():
+    with pytest.warns(DeprecationWarning):
+        legacy = IlpSolver(engine="incremental", core="tableau", workers=2)
+    modern = IlpSolver(
+        options=SolverOptions(engine="incremental", core="tableau", workers=2)
+    )
+    assert legacy.options == modern.options
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        IlpSolver(options=SolverOptions())  # options path stays silent
+
+
+def test_session_compile_per_knob_kwargs_warn(monkeypatch):
+    from repro.pipeline.session import Session
+    from repro.suites.polybench import build_kernel
+
+    session = Session()
+    scop = build_kernel("gemm")
+    with pytest.warns(DeprecationWarning, match="solver_workers"):
+        with_alias = session.compile(scop, solver_workers=1)
+    explicit = session.compile(scop, solver=SolverOptions(workers=1))
+    assert {
+        name: [str(r) for r in s.rows]
+        for name, s in with_alias.schedule.statements.items()
+    } == {
+        name: [str(r) for r in s.rows]
+        for name, s in explicit.schedule.statements.items()
+    }
+
+
+def test_env_typos_raise_loudly(monkeypatch):
+    monkeypatch.setenv("REPRO_ILP_PROCESSES", "garbage")
+    with pytest.raises(ValueError, match="REPRO_ILP_PROCESSES"):
+        SolverOptions.from_env()
+    monkeypatch.delenv("REPRO_ILP_PROCESSES")
+    monkeypatch.setenv("REPRO_ILP_WARM_START", "maybe")
+    with pytest.raises(ValueError, match="REPRO_ILP_WARM_START"):
+        SolverOptions.from_env()
+    monkeypatch.delenv("REPRO_ILP_WARM_START")
+    monkeypatch.setenv("REPRO_ILP_WORKERS", "0")
+    with pytest.raises(ValueError, match=">= 1"):
+        SolverOptions.from_env()
+
+
+def test_env_booleans_parse(monkeypatch):
+    monkeypatch.setenv("REPRO_ILP_WARM_START", "off")
+    monkeypatch.setenv("REPRO_ILP_IRREDUNDANCY", "0")
+    options = SolverOptions.from_env()
+    assert options.warm_start is False
+    assert options.irredundancy is False
+    monkeypatch.setenv("REPRO_ILP_WARM_START", "yes")
+    assert SolverOptions.from_env().warm_start is True
+
+
+def test_solver_options_round_trip_through_config_json():
+    options = SolverOptions(core="tableau", workers=3, warm_start=False)
+    config = SchedulerConfig(name="rt", solver_options=options)
+    document = json.loads(config.to_json())
+    encoded = document["scheduling_strategy"]["options"]["solver_options"]
+    assert encoded["core"] == "tableau"
+    decoded = SchedulerConfig.from_json(config.to_json())
+    assert decoded.solver_options == options
+    assert decoded.resolved_solver_options().core == "tableau"
+
+
+def test_config_field_overrides_layer_on_top_of_options():
+    config = SchedulerConfig(
+        solver_options=SolverOptions(workers=4, core="tableau"),
+        solver_workers=2,
+    )
+    resolved = config.resolved_solver_options()
+    assert resolved.workers == 2  # per-field override wins
+    assert resolved.core == "tableau"  # untouched fields flow through
