@@ -22,8 +22,14 @@ Two checks, in decreasing order of trust:
   ``warm_pivots_saved``, ``irredundant_rows_dropped`` from the report's
   ``dim_warm_benchmark`` section) are likewise zero-tolerance: exact for a
   fixed scheduling corpus, any decrease means the warm path stopped firing;
-  the warm and cold legs must be bit-identical (``mismatches``), installs
-  must never abort, and the warm leg must not spend more pivots than cold;
+  ``warm_skips`` and the prober's ``irredundancy_probes`` /
+  ``irredundancy_contexts`` / ``irredundancy_warm_probes`` must match the
+  baseline **exactly** (any drift means the staleness gate or the per-block
+  probe amortisation changed behaviour); the warm and cold legs must be
+  bit-identical (``mismatches``), installs must never abort, the warm leg
+  must not spend more pivots than cold — on net *and on every single
+  kernel* — and the steady-state irredundancy-on wall must stay within the
+  threshold of the same run's irredundancy-off leg;
 * **wall time** (``engine_seconds``) only compares within the same CPU
   budget and interpreter, so it is checked **only when the report's machine
   info matches the baseline's** (same ``cpu_count``, Python
@@ -108,6 +114,20 @@ DIM_WARM_HIGHER_IS_BETTER = (
     "dim_warm_starts",
     "warm_pivots_saved",
     "irredundant_rows_dropped",
+)
+
+#: Exact-match dim-warm counters: the staleness gate's skip count and the
+#: prober's probe/context/warm-probe counts are fully determined by the
+#: corpus, so *any* drift — up or down — means the gate or the prober changed
+#: behaviour and the baseline must be refreshed consciously.  (``warm_skips``
+#: growing would mean hints started failing the signature match; probes
+#: growing would mean the verdict cache or the per-block context amortisation
+#: stopped working; either shrinking would mean coverage was lost.)
+DIM_WARM_EXACT = (
+    "warm_skips",
+    "irredundancy_probes",
+    "irredundancy_contexts",
+    "irredundancy_warm_probes",
 )
 
 
@@ -202,6 +222,40 @@ def compare(report: dict, baseline: dict, threshold: float) -> tuple[list[str], 
                 failures.append(f"warm leg spends more pivots than cold: {line}")
             else:
                 notes.append(line)
+        warm_by_kernel = dim_warm.get("warm_pivots_by_kernel") or {}
+        cold_by_kernel = dim_warm.get("cold_pivots_by_kernel") or {}
+        for kernel, warm_count in warm_by_kernel.items():
+            cold_count = cold_by_kernel.get(kernel)
+            if cold_count is None:
+                continue
+            line = f"dim-warm pivots[{kernel}]: warm {warm_count} vs cold {cold_count}"
+            if warm_count > cold_count:
+                # Per kernel, not just on net: the triangular-nest regression
+                # hid inside a corpus-wide sum that rectangular kernels kept
+                # positive while cholesky-style nests paid extra pivots.
+                failures.append(
+                    f"warm leg spends more pivots than cold on one kernel: {line}"
+                )
+            else:
+                notes.append(line)
+        warm_wall = dim_warm.get("warm_seconds")
+        noprune_wall = dim_warm.get("irredundancy_off_seconds")
+        if warm_wall is not None and noprune_wall:
+            # Same run, same machine: the default-on irredundancy pass must
+            # pay for itself in steady state (shared verdict store warm)
+            # against the identical corpus with pruning disabled.
+            ratio = warm_wall / noprune_wall
+            line = (
+                f"irredundancy wall: on {warm_wall:.3f}s vs off "
+                f"{noprune_wall:.3f}s ({ratio:.2f}x)"
+            )
+            if ratio > 1.0 + threshold:
+                failures.append(
+                    f"irredundancy pass no longer pays for itself: {line} "
+                    f"exceeds +{threshold:.0%}"
+                )
+            else:
+                notes.append(line)
         baseline_dim_warm = baseline.get("dim_warm_benchmark") or {}
         for counter in DIM_WARM_HIGHER_IS_BETTER:
             before = baseline_dim_warm.get(counter)
@@ -215,6 +269,21 @@ def compare(report: dict, baseline: dict, threshold: float) -> tuple[list[str], 
                     f"dim-warm regression: {line} — the cross-dimension warm "
                     "path stopped firing (zero tolerance: these counters are "
                     "exact for a fixed corpus)"
+                )
+            else:
+                notes.append(line)
+        for counter in DIM_WARM_EXACT:
+            before = baseline_dim_warm.get(counter)
+            after = dim_warm.get(counter)
+            if before is None or after is None:
+                notes.append(f"dim-warm counter {counter!r} missing; skipped")
+                continue
+            line = f"{counter}: {before} -> {after}"
+            if after != before:
+                failures.append(
+                    f"dim-warm drift: {line} — the staleness gate or the "
+                    "prober changed behaviour (these counters are exact for "
+                    "a fixed corpus; refresh the baseline if intentional)"
                 )
             else:
                 notes.append(line)

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from fractions import Fraction
 from math import gcd
@@ -95,6 +96,20 @@ class EngineError(RuntimeError):
     """
 
 
+class _StaleBasis(Exception):
+    """The hinted basis does not transfer onto the new rows (skip, not abort).
+
+    Raised by the warm root build when no hinted column installs — either the
+    placements degenerate to the slack identity or the installed basis is
+    singular on the new rows.  Proceeding would run a zero-objective dual
+    simplex from the slack identity, i.e. a dual phase 1 from scratch, which
+    is exactly the triangular-nest regression; the caller counts a
+    ``warm_skips`` and takes the cold path instead.  Deliberately *not* an
+    :class:`EngineError`: a skip is a prediction, an abort is an
+    inconsistency.
+    """
+
+
 class EngineLimitError(EngineError):
     """A search-space resource limit was exhausted (branch & bound nodes).
 
@@ -119,11 +134,20 @@ class WarmHint:
     structural column, ``("v-", name)`` for the negative half of a split
     variable, and ``("s", row_signature)`` for the slack of a row.
 
+    ``weights`` carries the dual steepest-edge reference weight of each
+    exported basic identity (``max(1, ||row of B^{-1}||^2)``, integer): the
+    importer uses them to order the repair dual simplex towards the rows the
+    old basis considered best conditioned, which cuts the repair premium
+    where an install survives.  Weights are advisory — they change pivot
+    *order* only, never verdicts — so an empty tuple (hints from older
+    exports, or the dense core) degrades to the unweighted rule.
+
     Hints are pure data (tuples of strings and integers): picklable,
     hashable, and valid across processes and re-encodes.
     """
 
     entries: tuple[tuple[tuple, tuple], ...] = ()
+    weights: tuple[tuple[tuple, int], ...] = ()
 
 
 @dataclass
@@ -153,6 +177,7 @@ class EngineStatistics:
     dim_warm_starts: int = 0
     warm_pivots_saved: int = 0
     warm_aborts: int = 0
+    warm_skips: int = 0
     tableau_rows: int = 0
     basis_nnz: int = 0
     eta_entries: int = 0
@@ -192,6 +217,7 @@ class EngineStatistics:
             "dim_warm_starts": self.dim_warm_starts,
             "warm_pivots_saved": self.warm_pivots_saved,
             "warm_aborts": self.warm_aborts,
+            "warm_skips": self.warm_skips,
             "tableau_rows": self.tableau_rows,
             "basis_nnz": self.basis_nnz,
             "eta_entries": self.eta_entries,
@@ -785,6 +811,7 @@ class IncrementalIlpEngine:
         use_processes: bool = False,
         core: str | None = None,
         warm_hint: WarmHint | None = None,
+        warm_staleness: float = 0.95,
     ):
         self.problem = problem
         self.node_limit = node_limit
@@ -793,6 +820,7 @@ class IncrementalIlpEngine:
         self.pool = pool
         self.use_processes = use_processes
         self.warm_hint = warm_hint
+        self.warm_staleness = float(warm_staleness)
         if core is None:
             core = _default_core()
         elif core not in _CORE_CHOICES:
@@ -1003,6 +1031,7 @@ class IncrementalIlpEngine:
         row_ids = self._row_ids
         col_ids = self._col_ids
         entries = []
+        exported_rows: list[tuple[int, tuple]] = []
         for row_index, basic in enumerate(tableau.basis):
             if row_index >= len(row_ids):
                 break  # frozen-stage rows appended past the identified ones
@@ -1011,9 +1040,39 @@ class IncrementalIlpEngine:
             if signature is None or identity is None:
                 continue
             entries.append((signature, identity))
+            exported_rows.append((row_index, identity))
         if not entries:
             return None
-        return WarmHint(tuple(entries))
+        return WarmHint(
+            tuple(entries), self._reference_weights(tableau, exported_rows)
+        )
+
+    def _reference_weights(
+        self, tableau, exported_rows: list[tuple[int, tuple]]
+    ) -> tuple[tuple[tuple, int], ...]:
+        """Dual steepest-edge reference weights of the exported basis rows.
+
+        The Forrest–Goldfarb dual weight of row *i* is ``||e_i^T B^{-1}||^2``;
+        the eta file's BTRAN yields that row scaled by ``den``, so the
+        integer weight is the squared norm floor-divided by ``den^2``
+        (clamped to 1 — the weights only ever *order* the repair rows, so an
+        integer approximation is exactly as sound as the exact rational).
+        Revised-core only: the dense tableau keeps no factored basis.
+        """
+        file = getattr(tableau, "file", None)
+        if file is None or not exported_rows:
+            return ()
+        tableau._ensure_factored()
+        den_squared = file.den * file.den
+        m = len(tableau.basis)
+        weights = []
+        for row_index, identity in exported_rows:
+            seed = [0] * m
+            seed[row_index] = 1
+            rho = file.btran(seed)
+            norm = sum(value * value for value in rho)
+            weights.append((identity, max(1, norm // den_squared)))
+        return tuple(weights)
 
     # ------------------------------------------------------------------ #
     # Root tableau (phase 1, run once)
@@ -1134,21 +1193,49 @@ class IncrementalIlpEngine:
         """Root tableau via the warm path when a usable hint exists, else cold.
 
         The warm path is revised-core only (the dense tableau has no factored
-        basis to install into); any :class:`EngineError` it raises — a
-        singular hinted basis that also defeats the slack fallback, a dual
-        simplex iteration limit — must never change the verdict, so the root
-        is simply rebuilt cold.
+        basis to install into) and is gated by a **staleness predictor**: the
+        hint's signature-match rate against this problem's rows must reach
+        ``warm_staleness``, else the install is skipped (``warm_skips``) and
+        the root is built cold — on triangular nests the bases go stale
+        between dimensions and the dual repair costs more than a cold phase 1,
+        so a low match rate routes them to the cold path automatically.  A
+        hinted basis that does not actually transfer (:class:`_StaleBasis`)
+        counts the same skip; any :class:`EngineError` — a dual simplex
+        iteration limit, a factorisation inconsistency — must never change
+        the verdict, so the root is simply rebuilt cold (``warm_aborts``).
         """
         hint = self.warm_hint
         if hint is not None and hint.entries and self.core == "revised":
-            try:
-                tableau = self._build_root_warm(hint)
-            except EngineError:
-                self.stats.warm_aborts += 1
+            if self._hint_match_rate(hint) < self.warm_staleness:
+                self.stats.warm_skips += 1
             else:
-                self.stats.dim_warm_starts += 1
-                return tableau
+                try:
+                    tableau = self._build_root_warm(hint)
+                except _StaleBasis:
+                    self.stats.warm_skips += 1
+                except EngineError:
+                    self.stats.warm_aborts += 1
+                else:
+                    self.stats.dim_warm_starts += 1
+                    return tableau
         return self._build_root()
+
+    def _hint_match_rate(self, hint: WarmHint) -> float:
+        """Fraction of *hint* entries whose row signature recurs here.
+
+        Signatures are matched as a multiset (duplicate rows consume distinct
+        hint entries), mirroring the positional matching of the install
+        itself, so the rate predicts how much of the hinted basis can land
+        on real rows before any factorisation work happens.
+        """
+        counts = Counter(self._base_row_signatures())
+        matched = 0
+        for signature, _ in hint.entries:
+            remaining = counts.get(signature, 0)
+            if remaining:
+                counts[signature] = remaining - 1
+                matched += 1
+        return matched / len(hint.entries)
 
     def _build_root_warm(self, hint: WarmHint):
         """Feasible root seeded from *hint*'s basis, or ``None`` when LP-infeasible.
@@ -1205,6 +1292,7 @@ class IncrementalIlpEngine:
         placements: list[tuple[int, int]] = []
         used: set[int] = set()
         deferred: list[int] = []
+        identity_of_column: dict[int, tuple] = {}
 
         def resolve_column(identity: tuple) -> int | None:
             if identity[0] == "s":
@@ -1230,6 +1318,7 @@ class IncrementalIlpEngine:
             if column is None or column in used:
                 continue
             used.add(column)
+            identity_of_column[column] = identity
             if row_index is not None:
                 placements.append((row_index, column))
             else:
@@ -1278,17 +1367,34 @@ class IncrementalIlpEngine:
         warm_basis = list(basis)
         for row_index, column in placements:
             warm_basis[row_index] = column
-        installed = 0
-        if warm_basis != basis and tableau.install_basis(warm_basis):
-            installed = sum(
-                1
-                for row_index, column in enumerate(warm_basis)
-                if column != n_structural + row_index
-            )
+        if warm_basis == basis or not tableau.install_basis(warm_basis):
+            # Nothing installs (all placements degenerate to the slack
+            # identity) or the transferred basis is singular on the new rows:
+            # repairing from the slack identity would be a dual phase 1 from
+            # scratch — strictly worse than the cold build on triangular
+            # nests.  Signal a skip, not an abort.
+            raise _StaleBasis("hinted basis does not install on the new rows")
+        installed = sum(
+            1
+            for row_index, column in enumerate(warm_basis)
+            if column != n_structural + row_index
+        )
         self.stats.warm_pivots_saved += installed
 
+        # Repair ordered by the carried dual steepest-edge reference weights:
+        # rows holding a transferred column keep the weight its identity
+        # earned in the previous basis, everything else defaults to 1.
+        repair_weights = None
+        if hint.weights:
+            weight_of = dict(hint.weights)
+            repair_weights = [1] * m
+            for row_index, column in enumerate(warm_basis):
+                identity = identity_of_column.get(column)
+                if identity is not None:
+                    repair_weights[row_index] = weight_of.get(identity, 1)
+
         pivots_before = self.stats.pivots
-        status = tableau.dual_simplex()
+        status = tableau.dual_simplex(weights=repair_weights)
         self.stats.phase1_pivots += self.stats.pivots - pivots_before
         if status is LpStatus.INFEASIBLE:
             return None

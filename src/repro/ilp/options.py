@@ -38,13 +38,17 @@ _TRUE_WORDS = ("1", "true", "yes", "on")
 _FALSE_WORDS = ("0", "false", "no", "off")
 
 
-def _parse_bool(variable: str, raw: str, default: bool) -> bool:
-    """Parse a boolean environment variable loudly.
+def _parse_bool(variable: str, default: bool) -> bool:
+    """Parse a boolean environment variable loudly (one lookup, one message).
 
-    The empty string means "unset" and yields *default*; anything that is not
+    The variable is read here — callers pass its *name*, not a pre-fetched
+    value, so every boolean knob shares one lookup and one error shape
+    (historically each call site fetched the value itself, and one of them
+    fetched it twice).  Unset or empty yields *default*; anything that is not
     a recognised true/false word raises — ``REPRO_ILP_PROCESSES=garbage``
     used to silently mean ``False``, which hid typos forever.
     """
+    raw = os.environ.get(variable, "")
     word = raw.strip().lower()
     if not word:
         return default
@@ -74,11 +78,18 @@ class SolverOptions:
     #: Carry the factored basis across scheduling dimensions (bit-identical
     #: schedules, fewer pivots on chained bands).
     warm_start: bool = True
-    #: Opt-in: prune cached row blocks by exact LP probes before encoding.
-    #: Sound and bit-identical, but one LP per row — on the in-tree corpora
-    #: the probes cost more wall time than the dropped rows save, so this
-    #: defaults off until the prober learns to amortise (see ROADMAP).
-    irredundancy: bool = False
+    #: Staleness gate for the carried basis: minimum fraction of the hint's
+    #: row signatures that must recur in the next problem for the install to
+    #: proceed (``warm_skips`` counts the solves routed cold).  Triangular
+    #: nests reshape most rows between dimensions, so their stale bases fall
+    #: below the gate and take the cold path automatically; ``0.0`` restores
+    #: the always-install behaviour, ``1.0`` requires a perfect row match.
+    warm_staleness: float = 0.95
+    #: Prune cached row blocks by exact LP probes before encoding (sound and
+    #: bit-identical).  Default on since the probes amortise: one solver per
+    #: prober threads the previous probe's basis into the next as a warm
+    #: hint, so a block of *n* rows no longer pays *n* cold phase 1s.
+    irredundancy: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_CHOICES:
@@ -93,6 +104,13 @@ class SolverOptions:
         object.__setattr__(self, "node_limit", int(self.node_limit))
         object.__setattr__(self, "processes", bool(self.processes))
         object.__setattr__(self, "warm_start", bool(self.warm_start))
+        staleness = float(self.warm_staleness)
+        if not 0.0 <= staleness <= 1.0:
+            raise ValueError(
+                f"warm_staleness={self.warm_staleness!r} must be a match "
+                "rate within [0.0, 1.0]"
+            )
+        object.__setattr__(self, "warm_staleness", staleness)
         object.__setattr__(self, "irredundancy", bool(self.irredundancy))
 
     # -- construction ----------------------------------------------------- #
@@ -132,27 +150,32 @@ class SolverOptions:
                 raise ValueError(f"REPRO_ILP_WORKERS={workers} must be >= 1")
         else:
             workers = defaults.workers
-        processes = _parse_bool(
-            "REPRO_ILP_PROCESSES",
-            os.environ.get("REPRO_ILP_PROCESSES", ""),
-            defaults.processes,
-        )
-        warm_start = _parse_bool(
-            "REPRO_ILP_WARM_START",
-            os.environ.get("REPRO_ILP_WARM_START", ""),
-            defaults.warm_start,
-        )
-        irredundancy = _parse_bool(
-            "REPRO_ILP_IRREDUNDANCY",
-            os.environ.get("REPRO_ILP_IRREDUNDANCY", ""),
-            defaults.irredundancy,
-        )
+        processes = _parse_bool("REPRO_ILP_PROCESSES", defaults.processes)
+        warm_start = _parse_bool("REPRO_ILP_WARM_START", defaults.warm_start)
+        staleness_raw = os.environ.get("REPRO_ILP_WARM_STALENESS", "").strip()
+        if staleness_raw:
+            try:
+                warm_staleness = float(staleness_raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_ILP_WARM_STALENESS={staleness_raw!r} is not a "
+                    "number (expected a match rate in [0.0, 1.0])"
+                ) from None
+            if not 0.0 <= warm_staleness <= 1.0:
+                raise ValueError(
+                    f"REPRO_ILP_WARM_STALENESS={warm_staleness} must be "
+                    "within [0.0, 1.0]"
+                )
+        else:
+            warm_staleness = defaults.warm_staleness
+        irredundancy = _parse_bool("REPRO_ILP_IRREDUNDANCY", defaults.irredundancy)
         return cls(
             engine=engine,
             core=core,
             workers=workers,
             processes=processes,
             warm_start=warm_start,
+            warm_staleness=warm_staleness,
             irredundancy=irredundancy,
         )
 
@@ -170,6 +193,7 @@ class SolverOptions:
         processes: bool | None = None,
         node_limit: int | None = None,
         warm_start: bool | None = None,
+        warm_staleness: float | None = None,
         irredundancy: bool | None = None,
     ) -> "SolverOptions":
         """A copy with the non-``None`` overrides applied (validated)."""
@@ -186,6 +210,8 @@ class SolverOptions:
             changes["node_limit"] = node_limit
         if warm_start is not None:
             changes["warm_start"] = warm_start
+        if warm_staleness is not None:
+            changes["warm_staleness"] = warm_staleness
         if irredundancy is not None:
             changes["irredundancy"] = irredundancy
         if not changes:

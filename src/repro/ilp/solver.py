@@ -184,6 +184,7 @@ class IlpSolver:
                         use_processes=self.processes,
                         core=self.core,
                         warm_hint=hint,
+                        warm_staleness=self.options.warm_staleness,
                     )
                     solution = engine.solve()
                     self.solve_count += 1

@@ -185,6 +185,7 @@ class Session:
         solver_workers: int | None = None,
         solver_core: str | None = None,
         solver: SolverOptions | None = None,
+        _warn_stacklevel: int = 3,
     ) -> CompilationResult:
         """Run the full pipeline on (*scop*, *config*) and return the result.
 
@@ -203,7 +204,7 @@ class Session:
         """
         return self.compile_with_origin(
             scop, config, machine, parameter_values, label, solver_workers,
-            solver_core, solver,
+            solver_core, solver, _warn_stacklevel=_warn_stacklevel,
         ).result
 
     def compile_with_origin(
@@ -216,6 +217,7 @@ class Session:
         solver_workers: int | None = None,
         solver_core: str | None = None,
         solver: SolverOptions | None = None,
+        _warn_stacklevel: int = 2,
     ) -> CompileOutcome:
         """Like :meth:`compile`, also reporting where the result came from.
 
@@ -234,11 +236,15 @@ class Session:
             if value is not None
         ]
         if legacy:
+            # ``_warn_stacklevel`` is threaded from the public entry points so
+            # the warning always points at the *caller's* line, never a repro
+            # frame: 2 for a direct call, 3 via ``Session.compile``, 4 via the
+            # module-level ``repro.pipeline.compile``.
             warnings.warn(
                 f"compile({', '.join(legacy)}=...) is deprecated; "
                 "pass solver=SolverOptions(...) instead",
                 DeprecationWarning,
-                stacklevel=3,
+                stacklevel=_warn_stacklevel,
             )
         config = config if config is not None else pluto_style()
         if solver is not None and config.solver_options != solver:
@@ -584,7 +590,7 @@ def compile(
     """
     return default_session().compile(
         scop, config, machine, parameter_values, label, solver_workers,
-        solver_core, solver,
+        solver_core, solver, _warn_stacklevel=4,
     )
 
 

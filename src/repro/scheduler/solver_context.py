@@ -149,9 +149,19 @@ class SolverContext:
         self.solve_calls += 1
         use_warm = self.options.warm_start and self.options.engine == "incremental"
         hint = self._warm_hint if use_warm else None
+        aborts_before = self.solver.statistics.warm_aborts
         solution = self.solver.solve(problem, warm_hint=hint)
-        if use_warm and self.solver.last_warm_hint is not None:
-            self._warm_hint = self.solver.last_warm_hint
+        if use_warm:
+            exported = self.solver.last_warm_hint
+            if exported is not None and exported is not hint:
+                self._warm_hint = exported
+            elif self.solver.statistics.warm_aborts > aborts_before:
+                # The install aborted and the solve left no fresh basis to
+                # export (infeasible problem, or the oracle fallback
+                # answered).  Re-feeding the same hint would re-pay the
+                # doomed install and dual repair on every later dimension
+                # before falling back cold — drop it instead.
+                self._warm_hint = None
         return solution
 
     def statistics(self) -> dict[str, int | float]:
@@ -174,6 +184,9 @@ class SolverContext:
                     "irredundancy_probes": 0,
                     "irredundancy_reuse_hits": 0,
                     "irredundant_rows_dropped": 0,
+                    "irredundancy_contexts": 0,
+                    "irredundancy_warm_probes": 0,
+                    "irredundancy_pivots": 0,
                 }
             )
         return summary

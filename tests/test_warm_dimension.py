@@ -65,9 +65,11 @@ def test_warm_start_bit_identity_on_golden_kernels(kernel):
     assert rows_on == rows_off
     assert keys_on == keys_off
     assert stats_on["warm_aborts"] == 0
-    # The warm path must actually engage past the first dimension.
+    # The warm path must actually engage past the first dimension: every
+    # hint is either installed or consciously skipped by the staleness gate
+    # (gemm/gemver/cholesky hints score below the threshold and go cold).
     if stats_on["solve_calls"] > 1:
-        assert stats_on["dim_warm_starts"] > 0
+        assert stats_on["dim_warm_starts"] + stats_on["warm_skips"] > 0
 
 
 def test_warm_start_saves_pivots_where_dimensions_chain():
@@ -79,6 +81,49 @@ def test_warm_start_saves_pivots_where_dimensions_chain():
     assert stats_on["dim_warm_starts"] > 0
     assert stats_on["warm_pivots_saved"] > 0
     assert stats_on["pivots"] < stats_off["pivots"]
+
+
+@pytest.mark.parametrize("kernel", ["cholesky", "lu", "trisolv", "trmm"])
+def test_staleness_gate_keeps_triangular_kernels_no_worse_than_cold(kernel):
+    """The PR 8 regression, pinned closed: triangular nests chain dimensions
+    whose row sets drift too far for the carried basis to install profitably.
+    The staleness gate must route those hints cold, so the warm leg can never
+    spend more pivots than the cold leg — while identical schedules stay the
+    hard contract."""
+    from repro.scheduler.strategies import pluto_style
+
+    rows_on, keys_on, stats_on = _capture(kernel, pluto_style(), True, False)
+    rows_off, keys_off, stats_off = _capture(kernel, pluto_style(), False, False)
+    assert rows_on == rows_off
+    assert keys_on == keys_off
+    assert stats_on["pivots"] <= stats_off["pivots"]
+    assert stats_on["warm_aborts"] == 0
+    if stats_on["solve_calls"] > 1:
+        assert stats_on["dim_warm_starts"] + stats_on["warm_skips"] > 0
+
+
+def test_staleness_gate_skips_mismatched_hints():
+    """A hint whose row signatures share nothing with the new problem must be
+    skipped by the gate (counted), never installed or aborted."""
+    a = LinearProblem()
+    a.add_variable("x", 0, 9)
+    a.add_variable("y", 0, 9)
+    a.add_constraint({"x": Fraction(1), "y": Fraction(1)}, ">=", Fraction(3))
+    a.add_objective({"x": Fraction(1), "y": Fraction(2)})
+    solver = IlpSolver(options=SolverOptions())
+    assert solver.solve(a) is not None
+    hint = solver.last_warm_hint
+    assert hint is not None
+
+    b = LinearProblem()
+    b.add_variable("u", 0, 9)
+    b.add_variable("v", 0, 9)
+    b.add_constraint({"u": Fraction(2), "v": Fraction(-1)}, "<=", Fraction(4))
+    b.add_constraint({"v": Fraction(3)}, ">=", Fraction(2))
+    b.add_objective({"u": Fraction(1)})
+    assert solver.solve(b, warm_hint=hint) is not None
+    assert solver.statistics.warm_skips >= 1
+    assert solver.statistics.warm_aborts == 0
 
 
 def test_irredundancy_drops_rows_without_changing_schedules():
@@ -117,17 +162,25 @@ row_strategy = st.tuples(
 )
 
 
-@settings(max_examples=30, deadline=None)
-@given(
-    rows_a=st.lists(row_strategy, min_size=1, max_size=5),
-    rows_b=st.lists(row_strategy, min_size=1, max_size=5),
-    shared=st.lists(row_strategy, min_size=0, max_size=3),
-    bounds=st.lists(st.integers(1, 6), min_size=3, max_size=3),
-    objective=st.lists(st.integers(-2, 3), min_size=3, max_size=3),
-    core=st.sampled_from(CORE_CHOICES),
-)
-def test_warm_hint_differential(rows_a, rows_b, shared, bounds, objective, core):
-    """solve(B, hint-from-A) == solve(B) for related random problems, both cores."""
+@st.composite
+def triangular_box_rows(draw):
+    """Chained coupling rows ``x_k >= x_{k+1} + c`` over a triangular box.
+
+    This is the row shape of triangular nests (cholesky/lu/trisolv bands)
+    whose drift between dimensions regressed the PR 8 warm path: the chain
+    couples every variable to the next, so relaxing or re-basing one row
+    reshapes the whole basis.
+    """
+    rows = []
+    for k in range(2):
+        coeffs = [0, 0, 0]
+        coeffs[k], coeffs[k + 1] = 1, -1
+        rows.append((coeffs, ">=", draw(st.integers(-1, 1))))
+    return rows + draw(st.lists(row_strategy, min_size=0, max_size=2))
+
+
+def _assert_warm_equals_cold(shared, rows_a, rows_b, bounds, objective, core):
+    """solve(B, hint-from-A) == solve(B), bit for bit, on the given core."""
     options = SolverOptions(core=core)
     warm_solver = IlpSolver(options=options)
     warm_solver.solve(_random_problem(shared + rows_a, bounds, objective))
@@ -145,6 +198,60 @@ def test_warm_hint_differential(rows_a, rows_b, shared, bounds, objective, core)
         assert warm.assignment == cold.assignment
         assert warm.objective_values == cold.objective_values
         assert warm.node_key == cold.node_key
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows_a=st.lists(row_strategy, min_size=1, max_size=5),
+    rows_b=st.lists(row_strategy, min_size=1, max_size=5),
+    shared=st.lists(row_strategy, min_size=0, max_size=3),
+    bounds=st.lists(st.integers(1, 6), min_size=3, max_size=3),
+    objective=st.lists(st.integers(-2, 3), min_size=3, max_size=3),
+    core=st.sampled_from(CORE_CHOICES),
+)
+def test_warm_hint_differential(rows_a, rows_b, shared, bounds, objective, core):
+    """solve(B, hint-from-A) == solve(B) for related random problems, both cores."""
+    _assert_warm_equals_cold(shared, rows_a, rows_b, bounds, objective, core)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shared=triangular_box_rows(),
+    rows_a=st.lists(row_strategy, min_size=0, max_size=3),
+    rows_b=st.lists(row_strategy, min_size=0, max_size=3),
+    bounds=st.lists(st.integers(1, 6), min_size=3, max_size=3),
+    objective=st.lists(st.integers(-2, 3), min_size=3, max_size=3),
+    core=st.sampled_from(CORE_CHOICES),
+)
+def test_warm_hint_differential_on_triangular_boxes(
+    shared, rows_a, rows_b, bounds, objective, core
+):
+    """The same differential over triangular chains — stale hints that the
+    gate skips (or installs that fail and fall back) must still answer bit
+    for bit."""
+    _assert_warm_equals_cold(shared, rows_a, rows_b, bounds, objective, core)
+
+
+def test_solver_context_drops_stale_hint_after_warm_abort(monkeypatch):
+    """A hint whose install aborted (and whose solve exported nothing fresh)
+    must not be re-fed to every later dimension."""
+    from repro.ilp.engine import WarmHint
+    from repro.scheduler.solver_context import SolverContext
+
+    context = SolverContext(options=SolverOptions(warm_start=True))
+    hint = WarmHint(entries=())
+    context._warm_hint = hint
+    seen = {}
+
+    def aborting_solve(problem, warm_hint=None):
+        seen["hint"] = warm_hint
+        context.solver.statistics.warm_aborts += 1
+        return None
+
+    monkeypatch.setattr(context.solver, "solve", aborting_solve)
+    assert context.solve(LinearProblem()) is None
+    assert seen["hint"] is hint
+    assert context._warm_hint is None
 
 
 # --------------------------------------------------------------------------- #
@@ -204,6 +311,7 @@ def test_prune_is_sound_over_the_boxes(rows):
 
 
 def test_prune_drops_a_dominated_row_and_caches_the_verdict():
+    RedundancyProber.clear_shared_store()
     prober = RedundancyProber(SolverOptions())
     block = [
         ({"a": Fraction(1)}, ">=", Fraction(2)),
@@ -233,12 +341,36 @@ def test_prune_never_drops_equalities_and_keeps_infeasible_blocks_whole():
     assert prober.prune(infeasible, {"a": (0, 10)}) == infeasible
 
 
+def test_prober_amortises_probes_through_one_context_per_block():
+    """One engine context per block: every probe after the first re-roots the
+    same factored tableau instead of rebuilding the standard form."""
+    RedundancyProber.clear_shared_store()
+    prober = RedundancyProber(SolverOptions())
+    block = [
+        ({"a": Fraction(1), "b": Fraction(1)}, ">=", Fraction(1)),
+        ({"a": Fraction(1)}, ">=", Fraction(-2)),  # implied by a >= 0
+        ({"b": Fraction(1)}, "<=", Fraction(9)),  # implied by b <= 3
+        ({"a": Fraction(1), "b": Fraction(-1)}, ">=", Fraction(-3)),  # implied
+    ]
+    kept = prober.prune(block, {"a": (0, 3), "b": (0, 3)})
+    assert kept == [block[0]]
+    stats = prober.statistics()
+    assert stats["irredundancy_contexts"] == 1
+    assert stats["irredundancy_probes"] == 4
+    assert stats["irredundancy_warm_probes"] == stats["irredundancy_probes"] - 1
+    assert stats["irredundant_rows_dropped"] == 3
+
+
 # --------------------------------------------------------------------------- #
 # SolverOptions: the single front door
 # --------------------------------------------------------------------------- #
 def test_legacy_solver_kwargs_warn_and_fold_into_options():
-    with pytest.warns(DeprecationWarning):
+    with pytest.warns(DeprecationWarning, match="workers") as record:
         legacy = IlpSolver(engine="incremental", core="tableau", workers=2)
+    # The warning must point at this file (the caller), not the solver's own
+    # frame — the stacklevel regression made every deprecation site report
+    # solver.py and defeat per-module warning filters.
+    assert record[0].filename == __file__
     modern = IlpSolver(
         options=SolverOptions(engine="incremental", core="tableau", workers=2)
     )
@@ -254,8 +386,9 @@ def test_session_compile_per_knob_kwargs_warn(monkeypatch):
 
     session = Session()
     scop = build_kernel("gemm")
-    with pytest.warns(DeprecationWarning, match="solver_workers"):
+    with pytest.warns(DeprecationWarning, match="solver_workers") as record:
         with_alias = session.compile(scop, solver_workers=1)
+    assert record[0].filename == __file__
     explicit = session.compile(scop, solver=SolverOptions(workers=1))
     assert {
         name: [str(r) for r in s.rows]
@@ -264,6 +397,15 @@ def test_session_compile_per_knob_kwargs_warn(monkeypatch):
         name: [str(r) for r in s.rows]
         for name, s in explicit.schedule.statements.items()
     }
+
+
+def test_module_level_compile_warns_at_the_caller():
+    from repro.pipeline import session as session_module
+    from repro.suites.polybench import build_kernel
+
+    with pytest.warns(DeprecationWarning, match="solver_workers") as record:
+        session_module.compile(build_kernel("gemm"), solver_workers=1)
+    assert record[0].filename == __file__
 
 
 def test_env_typos_raise_loudly(monkeypatch):
@@ -290,8 +432,23 @@ def test_env_booleans_parse(monkeypatch):
     assert SolverOptions.from_env().warm_start is True
 
 
+def test_warm_staleness_env_and_constructor_validation(monkeypatch):
+    monkeypatch.setenv("REPRO_ILP_WARM_STALENESS", "0.5")
+    assert SolverOptions.from_env().warm_staleness == 0.5
+    monkeypatch.setenv("REPRO_ILP_WARM_STALENESS", "1.5")
+    with pytest.raises(ValueError, match="REPRO_ILP_WARM_STALENESS"):
+        SolverOptions.from_env()
+    monkeypatch.setenv("REPRO_ILP_WARM_STALENESS", "soon")
+    with pytest.raises(ValueError, match="REPRO_ILP_WARM_STALENESS"):
+        SolverOptions.from_env()
+    with pytest.raises(ValueError, match="warm_staleness"):
+        SolverOptions(warm_staleness=-0.1)
+    with pytest.raises(ValueError, match="warm_staleness"):
+        SolverOptions(warm_staleness=1.25)
+
+
 def test_solver_options_round_trip_through_config_json():
-    options = SolverOptions(core="tableau", workers=3, warm_start=False)
+    options = SolverOptions(core="tableau", workers=3, warm_start=False, warm_staleness=0.8)
     config = SchedulerConfig(name="rt", solver_options=options)
     document = json.loads(config.to_json())
     encoded = document["scheduling_strategy"]["options"]["solver_options"]
