@@ -444,6 +444,118 @@ def run_dim_warm(quick: bool = False) -> dict:
     }
 
 
+def run_trace_check(quick: bool = False, trace_output: str | None = None) -> dict:
+    """Schedule a golden kernel under the span tracer and cross-check counters.
+
+    The contract the observability layer ships with: the ``ilp.solve`` span
+    deltas must sum to exactly the :class:`EngineStatistics` totals of the
+    run, and the ``scheduler.run`` span must carry the scheduler's
+    statistics dict verbatim.  Any divergence means a counter is attached
+    from the wrong snapshot window — ``perf_gate.py`` fails the job on it.
+    ``trace_output`` additionally writes the Chrome-trace JSON (the CI
+    artifact to drop into Perfetto).
+    """
+    from repro.obs import Tracer, write_chrome_trace
+    from repro.pipeline.session import Session
+    from repro.suites.polybench import build_kernel
+
+    kernels = ("gemm",) if quick else ("gemm", "jacobi-2d")
+    checks: dict[str, dict] = {}
+    divergences = 0
+    tracer = Tracer()
+    session = Session(tracer=tracer)
+    for kernel in kernels:
+        tracer.clear()
+        result = session.compile(build_kernel(kernel))
+        statistics = result.solver_statistics
+        solves = [r for r in tracer.records if r.name == "ilp.solve"]
+        run_span = next(r for r in tracer.records if r.name == "scheduler.run")
+        span_statistics = {
+            key: value for key, value in run_span.counters.items() if key != "kernel"
+        }
+        span_pivots = sum(r.counters.get("pivots", 0) for r in solves)
+        span_nodes = sum(r.counters.get("nodes", 0) for r in solves)
+        matches = (
+            len(solves) == statistics.get("solve_calls")
+            and span_pivots == statistics.get("pivots")
+            and span_nodes == statistics.get("nodes")
+            and span_statistics == statistics
+        )
+        if not matches:
+            divergences += 1
+        checks[kernel] = {
+            "ilp_spans": len(solves),
+            "solve_calls": statistics.get("solve_calls"),
+            "span_pivots": span_pivots,
+            "engine_pivots": statistics.get("pivots"),
+            "span_nodes": span_nodes,
+            "engine_nodes": statistics.get("nodes"),
+            "counters_match": matches,
+        }
+        if trace_output and kernel == kernels[-1]:
+            write_chrome_trace(tracer, trace_output)
+    return {
+        "quick": quick,
+        "kernels": list(kernels),
+        "checks": checks,
+        "divergences": divergences,
+        "trace_output": trace_output,
+    }
+
+
+def run_trace_overhead(quick: bool = False, passes: int = 5) -> dict:
+    """Price the *disabled* tracing path on the quick solver corpus.
+
+    Compares ``SolverContext.solve`` (which starts with the
+    ``tracer.enabled`` guard every production solve now pays) against the
+    guard-free ``_solve`` body over identical fresh contexts.  The min over
+    *passes* follows the ``timeit`` convention; ``perf_gate.py`` fails the
+    job when the disabled-path overhead exceeds 2%.
+    """
+    from repro.scheduler.solver_context import SolverContext
+
+    problems = synthetic_problems(12 if quick else 40)
+
+    def time_leg(direct: bool) -> float:
+        context = SolverContext()
+        solve = context._solve if direct else context.solve
+        started = time.perf_counter()
+        for problem in problems:
+            solve(problem)
+        elapsed = time.perf_counter() - started
+        context.close()
+        return elapsed
+
+    # The legs are interleaved (and their order alternated per pass) so slow
+    # drift — thermal scaling, interpreter warm-up, GC pressure — cancels
+    # instead of landing entirely on whichever leg runs later.
+    direct_seconds = disabled_seconds = None
+    for index in range(passes):
+        order = (True, False) if index % 2 == 0 else (False, True)
+        for direct in order:
+            elapsed = time_leg(direct)
+            if direct:
+                direct_seconds = (
+                    elapsed if direct_seconds is None else min(direct_seconds, elapsed)
+                )
+            else:
+                disabled_seconds = (
+                    elapsed
+                    if disabled_seconds is None
+                    else min(disabled_seconds, elapsed)
+                )
+    overhead = (
+        (disabled_seconds - direct_seconds) / direct_seconds if direct_seconds else 0.0
+    )
+    return {
+        "problems": len(problems),
+        "passes": passes,
+        "direct_seconds": direct_seconds,
+        "disabled_seconds": disabled_seconds,
+        "overhead_fraction": overhead,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # pytest-benchmark entry point
 # --------------------------------------------------------------------------- #
@@ -496,6 +608,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="use forked process workers for --workers (default: threads)",
     )
+    parser.add_argument(
+        "--trace-output",
+        default=None,
+        metavar="PATH",
+        help="write the trace-check golden kernel's Chrome-trace JSON here "
+        "(the Perfetto CI artifact)",
+    )
     arguments = parser.parse_args(argv)
     report = run(quick=arguments.quick)
     mismatches = report["mismatches"] + report["core_mismatches"]
@@ -503,6 +622,11 @@ def main(argv: list[str] | None = None) -> int:
     mismatches += report["deepnest_benchmark"]["mismatches"]
     report["dim_warm_benchmark"] = run_dim_warm(quick=arguments.quick)
     mismatches += report["dim_warm_benchmark"]["mismatches"]
+    report["trace_check"] = run_trace_check(
+        quick=arguments.quick, trace_output=arguments.trace_output
+    )
+    mismatches += report["trace_check"]["divergences"]
+    report["trace_overhead"] = run_trace_overhead(quick=arguments.quick)
     if arguments.workers:
         report["workers_benchmark"] = run_workers(
             arguments.workers, quick=arguments.quick, processes=arguments.processes

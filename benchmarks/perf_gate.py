@@ -30,6 +30,15 @@ Two checks, in decreasing order of trust:
   must not spend more pivots than cold — on net *and on every single
   kernel* — and the steady-state irredundancy-on wall must stay within the
   threshold of the same run's irredundancy-off leg;
+* **trace cross-check** (the report's ``trace_check`` section): on golden
+  kernels scheduled under the span tracer, the per-solve ``ilp.solve`` span
+  deltas must sum to exactly the engine's pivot/node totals and the
+  ``scheduler.run`` span must carry the run statistics verbatim — any
+  divergence fails the job (a span counter attached from the wrong snapshot
+  window is a lie in every trace);
+* **tracing-disabled overhead** (``trace_overhead``): the guarded production
+  solve path must stay within 2% of the guard-free body on the quick solver
+  corpus — both legs come from the same run, so this gates across machines;
 * **wall time** (``engine_seconds``) only compares within the same CPU
   budget and interpreter, so it is checked **only when the report's machine
   info matches the baseline's** (same ``cpu_count``, Python
@@ -129,6 +138,13 @@ DIM_WARM_EXACT = (
     "irredundancy_contexts",
     "irredundancy_warm_probes",
 )
+
+#: Hard budget for the *disabled* tracing path, as a fraction of the
+#: guard-free solve time on the quick solver corpus (``trace_overhead`` in
+#: the report).  The span tracer's contract is a guaranteed no-op when off;
+#: both legs are measured in the same run on the same host, so the ratio is
+#: gated even when the baseline machine differs.
+TRACE_OVERHEAD_BUDGET = 0.02
 
 
 def _machine_signature(report: dict) -> tuple:
@@ -287,6 +303,52 @@ def compare(report: dict, baseline: dict, threshold: float) -> tuple[list[str], 
                 )
             else:
                 notes.append(line)
+
+    trace_check = report.get("trace_check") or {}
+    if trace_check:
+        if trace_check.get("divergences"):
+            for kernel, check in (trace_check.get("checks") or {}).items():
+                if not check.get("counters_match"):
+                    failures.append(
+                        "trace divergence on %s: span pivots/nodes/solves "
+                        "(%s/%s/%s) != engine statistics (%s/%s/%s) — a span "
+                        "counter is attached from the wrong snapshot window"
+                        % (
+                            kernel,
+                            check.get("span_pivots"),
+                            check.get("span_nodes"),
+                            check.get("ilp_spans"),
+                            check.get("engine_pivots"),
+                            check.get("engine_nodes"),
+                            check.get("solve_calls"),
+                        )
+                    )
+        else:
+            notes.append(
+                "trace check: span counters identical to engine statistics on "
+                + ", ".join(trace_check.get("kernels") or [])
+            )
+    trace_overhead = report.get("trace_overhead") or {}
+    overhead = trace_overhead.get("overhead_fraction")
+    if overhead is not None:
+        # Both legs of the overhead measurement come from the same run on the
+        # same host, so the ratio gates even across machines.  2% is the
+        # observability layer's hard budget for the disabled path.
+        line = (
+            "tracing-disabled overhead: %.2f%% (direct %.3fs vs disabled %.3fs)"
+            % (
+                overhead * 100.0,
+                trace_overhead.get("direct_seconds") or 0.0,
+                trace_overhead.get("disabled_seconds") or 0.0,
+            )
+        )
+        if overhead > TRACE_OVERHEAD_BUDGET:
+            failures.append(
+                f"disabled tracing is no longer free: {line} exceeds "
+                f"{TRACE_OVERHEAD_BUDGET:.0%}"
+            )
+        else:
+            notes.append(line)
 
     for counter in REVISED_STRICT_COUNTERS:
         before = baseline_stats.get(counter)

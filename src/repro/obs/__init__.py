@@ -1,0 +1,58 @@
+"""Observability: span tracing, metrics and exporters for the whole stack.
+
+The three layers:
+
+* :mod:`repro.obs.trace` — a thread-safe hierarchical span tracer with a
+  guaranteed no-op fast path when disabled (:data:`NULL_TRACER`), plus the
+  context-local *active tracer* every instrumented layer traces against.
+* :mod:`repro.obs.metrics` — a registry of named counters (exact integers),
+  gauges and histograms, rendered in Prometheus text format by the
+  compilation server's ``/v1/metrics`` endpoint.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (loadable in
+  Perfetto) and flat hot-span summaries; ``python -m repro.obs report``
+  prints the span tree of a trace file.
+
+Front doors: ``REPRO_TRACE=<path>`` traces every compile of a process,
+``repro.pipeline.compile(..., trace=<path>)`` traces one compile,
+``Session(tracer=Tracer())`` collects spans programmatically, and the
+compilation server's ``--trace-dir`` writes one trace file per request/job.
+"""
+
+from .export import (
+    build_tree,
+    format_tree,
+    load_chrome_trace,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    activate,
+    active_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "build_tree",
+    "format_tree",
+    "load_chrome_trace",
+    "summarize",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

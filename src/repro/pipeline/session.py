@@ -14,6 +14,7 @@ caches.
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
 import warnings
@@ -24,6 +25,7 @@ from ..deps.dependence import Dependence
 from ..ilp.options import SolverOptions
 from ..machine.machine import MachineModel, machine_by_name
 from ..model.scop import Scop
+from ..obs import NULL_TRACER, Tracer, activate, write_chrome_trace
 from ..scheduler.baselines import Baseline
 from ..scheduler.config import SchedulerConfig
 from ..scheduler.strategies import pluto_style
@@ -89,7 +91,17 @@ class Session:
     stage_observer:
         Optional callback ``(kernel, label, stage, seconds)`` fired after
         every pipeline stage (used by the compilation server to report
-        per-stage progress of asynchronous jobs).
+        per-stage progress of asynchronous jobs).  Retained as a shim over
+        the span tracer: observers see the same per-stage wall times the
+        trace records.
+    tracer:
+        Optional :class:`repro.obs.Tracer` collecting hierarchical spans of
+        every pipeline run (stages, scheduler dimensions, ILP solves, FM and
+        emptiness probes).  ``None`` honours the ``REPRO_TRACE=<path>``
+        environment variable (trace every compile and write the Chrome-trace
+        JSON to ``<path>`` after each pipeline run); otherwise tracing is
+        disabled at a guaranteed no-op cost.  Tracing never changes compile
+        results — schedules are bit-identical with tracing on and off.
     """
 
     def __init__(
@@ -102,6 +114,7 @@ class Session:
         tile_sizes: Sequence[int] = (8, 8, 8),
         store=None,
         stage_observer: StageObserver | None = None,
+        tracer: Tracer | None = None,
     ):
         self.machine = machine_by_name(machine) if isinstance(machine, str) else machine
         self.stages: tuple[PipelineStage, ...] = tuple(
@@ -112,6 +125,16 @@ class Session:
         self.tile_sizes = tuple(tile_sizes)
         self.store = store
         self.stage_observer = stage_observer
+        self._trace_path: str | None = None
+        if tracer is not None:
+            self.tracer = tracer
+        else:
+            trace_path = os.environ.get("REPRO_TRACE")
+            if trace_path:
+                self.tracer = Tracer()
+                self._trace_path = trace_path
+            else:
+                self.tracer = NULL_TRACER
         self._dependences: dict[str, list[Dependence]] = {}
         self._probe_statistics: dict[str, dict[str, int]] = {}
         self._results: dict[tuple, CompilationResult] = {}
@@ -185,6 +208,7 @@ class Session:
         solver_workers: int | None = None,
         solver_core: str | None = None,
         solver: SolverOptions | None = None,
+        trace: str | None = None,
         _warn_stacklevel: int = 3,
     ) -> CompilationResult:
         """Run the full pipeline on (*scop*, *config*) and return the result.
@@ -201,10 +225,14 @@ class Session:
         cached independently.  The per-knob ``solver_workers`` /
         ``solver_core`` arguments are deprecated aliases for the matching
         fields of ``solver``.
+
+        ``trace`` records this compile's span tree with a dedicated tracer
+        and writes the Chrome-trace JSON (loadable in Perfetto) to the given
+        path — independent of the session tracer / ``REPRO_TRACE``.
         """
         return self.compile_with_origin(
             scop, config, machine, parameter_values, label, solver_workers,
-            solver_core, solver, _warn_stacklevel=_warn_stacklevel,
+            solver_core, solver, trace=trace, _warn_stacklevel=_warn_stacklevel,
         ).result
 
     def compile_with_origin(
@@ -217,6 +245,7 @@ class Session:
         solver_workers: int | None = None,
         solver_core: str | None = None,
         solver: SolverOptions | None = None,
+        trace: str | None = None,
         _warn_stacklevel: int = 2,
     ) -> CompileOutcome:
         """Like :meth:`compile`, also reporting where the result came from.
@@ -286,7 +315,16 @@ class Session:
                 self.statistics["store_misses"] += 1
             elif self.store is not None:
                 self.statistics["store_skips"] += 1
-        result = self._run_pipeline(scop, config, machine, parameter_values, label)
+        run_tracer = Tracer() if trace is not None else None
+        result = self._run_pipeline(
+            scop, config, machine, parameter_values, label, tracer=run_tracer
+        )
+        if trace is not None:
+            write_chrome_trace(run_tracer, trace)
+        elif self._trace_path is not None:
+            # REPRO_TRACE mode: rewrite the file with everything recorded so
+            # far after every pipeline run, so the trace is valid at any time.
+            write_chrome_trace(self.tracer, self._trace_path)
         with self._lock:
             counters = (
                 "cache: miss (session memory_hits={memory_hits} "
@@ -460,6 +498,7 @@ class Session:
         machine: MachineModel | None,
         parameter_values: Mapping[str, int] | None,
         label: str,
+        tracer: Tracer | None = None,
     ) -> CompilationResult:
         context = PipelineContext(
             session=self,
@@ -472,13 +511,28 @@ class Session:
             use_tiling=self.use_tiling,
             tile_sizes=self.tile_sizes,
         )
-        for stage in self.stages:
-            start = time.perf_counter()
-            stage.run(context)
-            seconds = time.perf_counter() - start
-            context.stage_timings[stage.name] = seconds
-            if self.stage_observer is not None:
-                self.stage_observer(scop.name, label, stage.name, seconds)
+        tracer = tracer if tracer is not None else self.tracer
+        # The tracer is (re-)activated here, on the thread actually running
+        # the pipeline: contextvars do not propagate into the
+        # ``ThreadPoolExecutor`` workers of ``compile_many``, so activating
+        # at the call site would lose the tracer exactly when several
+        # compiles run concurrently.
+        with activate(tracer), tracer.span(
+            "pipeline.compile", category="pipeline", kernel=scop.name, label=label
+        ) as compile_span:
+            for stage in self.stages:
+                if tracer.enabled:
+                    with tracer.span(f"stage.{stage.name}", category="stage") as span:
+                        stage.run(context)
+                    seconds = span.duration_ns / 1e9
+                else:
+                    start = time.perf_counter()
+                    stage.run(context)
+                    seconds = time.perf_counter() - start
+                context.stage_timings[stage.name] = seconds
+                if self.stage_observer is not None:
+                    self.stage_observer(scop.name, label, stage.name, seconds)
+            compile_span.set("failed", context.failed)
         if context.schedule is None:
             context.schedule = scop.original_schedule()
             context.diagnostics.append(
@@ -571,6 +625,7 @@ def compile(
     solver_workers: int | None = None,
     solver_core: str | None = None,
     solver: SolverOptions | None = None,
+    trace: str | None = None,
 ) -> CompilationResult:
     """One-shot compilation through the shared default session.
 
@@ -590,7 +645,7 @@ def compile(
     """
     return default_session().compile(
         scop, config, machine, parameter_values, label, solver_workers,
-        solver_core, solver, _warn_stacklevel=4,
+        solver_core, solver, trace=trace, _warn_stacklevel=4,
     )
 
 

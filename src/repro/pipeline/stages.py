@@ -30,6 +30,7 @@ from ..machine.cost_model import CostModel, PerformanceReport
 from ..machine.machine import MachineModel
 from ..model.schedule import Schedule
 from ..model.scop import Scop
+from ..obs import active_tracer
 from ..scheduler.config import SchedulerConfig
 from ..scheduler.core import PolyTOPSScheduler, SchedulingResult
 from ..scheduler.errors import ConfigurationError, SchedulingError
@@ -199,23 +200,30 @@ class SchedulingStage:
         if dependences is None:
             dependences = context.session.dependences(context.scop)
             context.dependences = dependences
-        try:
-            scheduler = PolyTOPSScheduler(
-                context.scop,
-                context.config,
-                dependences=dependences,
-                parameter_values=context.parameter_values,
-            )
-            result = scheduler.schedule()
-        except SchedulingError as error:
-            context.failed = True
-            context.error = f"{type(error).__name__}: {error}"
-            context.diagnostics.append(
-                f"scheduling failed ({context.error}); fell back to the original program order"
-            )
-            result = SchedulingResult(
-                context.scop.original_schedule(), list(dependences), {}, True, {}
-            )
+        # The run span carries the scheduler's full statistics dict, so a
+        # trace is self-contained: its counters are bit-identical to
+        # ``CompilationResult.solver_statistics`` by construction.
+        with active_tracer().span(
+            "scheduler.run", category="scheduler", kernel=context.scop.name
+        ) as run_span:
+            try:
+                scheduler = PolyTOPSScheduler(
+                    context.scop,
+                    context.config,
+                    dependences=dependences,
+                    parameter_values=context.parameter_values,
+                )
+                result = scheduler.schedule()
+            except SchedulingError as error:
+                context.failed = True
+                context.error = f"{type(error).__name__}: {error}"
+                context.diagnostics.append(
+                    f"scheduling failed ({context.error}); fell back to the original program order"
+                )
+                result = SchedulingResult(
+                    context.scop.original_schedule(), list(dependences), {}, True, {}
+                )
+            run_span.update(result.statistics)
         if result.fallback_to_original and context.error is None:
             context.failed = True
             context.diagnostics.append(

@@ -27,6 +27,7 @@ from ..ilp.problem import ConstraintSense, LinearProblem
 from ..ilp.revised import _RevisedTableau
 from ..ilp.simplex import LpStatus
 from ..ilp.solver import IlpSolver
+from ..obs import active_tracer
 from .polyhedron import Polyhedron
 from .space import CONSTANT_KEY
 
@@ -73,13 +74,17 @@ class BatchProbe:
     one per run).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self.solver = IlpSolver(options=SolverOptions.resolve(workers=1))
         self._verdicts: dict[tuple, dict[str, int] | None] = {}
         self.probes = 0
         self.trivial_hits = 0
         self.reuse_hits = 0
         self.engine_probes = 0
+        #: Span sink for engine-backed probes; resolved from the active
+        #: tracer at construction (dependence analysis builds one probe per
+        #: run, on the thread the session tracer is activated on).
+        self.tracer = tracer if tracer is not None else active_tracer()
 
     @staticmethod
     def _signature(polyhedron: Polyhedron) -> tuple:
@@ -107,7 +112,16 @@ class BatchProbe:
             # which must not corrupt the cached verdict.
             return None if cached is None else dict(cached)
         self.engine_probes += 1
-        solution = self.solver.solve(_to_problem(polyhedron))
+        # Only probes that actually reach the engine get a span: trivial and
+        # cached verdicts are dictionary lookups, not timeline-worthy work.
+        with self.tracer.span(
+            "emptiness.probe",
+            category="emptiness",
+            dimensions=len(polyhedron.space.names),
+            constraints=len(polyhedron.constraints),
+        ) as span:
+            solution = self.solver.solve(_to_problem(polyhedron))
+            span.set("empty", solution is None)
         point = (
             None
             if solution is None
@@ -369,7 +383,7 @@ class RedundancyProber:
         """Drop all shared verdicts (tests and cold-cost measurements)."""
         cls._SHARED_VERDICTS.clear()
 
-    def __init__(self, options: SolverOptions | None = None) -> None:
+    def __init__(self, options: SolverOptions | None = None, tracer=None) -> None:
         # The run's options are accepted for signature stability, but probes
         # no longer route through an IlpSolver: every block gets one factored
         # revised-simplex context, and the prober-local statistics object
@@ -382,6 +396,7 @@ class RedundancyProber:
         self.rows_dropped = 0
         self.context_builds = 0
         self.warm_probes = 0
+        self.tracer = tracer if tracer is not None else active_tracer()
 
     @staticmethod
     def _row_key(row) -> tuple:
@@ -418,35 +433,46 @@ class RedundancyProber:
             return [rows[index] for index in cached]
 
         # One context per block, built lazily at the first real probe; every
-        # later probe of the block rides the same factored basis.
-        context: _BlockContext | None = None
-        kept = list(range(len(rows)))
-        for index in range(len(rows)):
-            _, sense, _ = row_keys[index]
-            if sense not in ("<=", ">=") or index not in kept:
-                continue
-            others = [position for position in kept if position != index]
-            if not others:
-                break
-            if context is None:
-                context = _BlockContext(row_keys, names, boxes, self.stats)
-                self.context_builds += 1
-                if not context.feasible:
-                    # Infeasible block: leave it whole for the scheduler.
-                    kept = list(range(len(rows)))
+        # later probe of the block rides the same factored basis.  A block
+        # that pays real probes records one span with its probe/drop/pivot
+        # counters (cache hits above stay span-free: they cost a lookup).
+        with self.tracer.span(
+            "emptiness.irredundancy", category="emptiness", rows=len(rows)
+        ) as span:
+            probes_before = self.probes
+            pivots_before = self.stats.pivots
+            context: _BlockContext | None = None
+            kept = list(range(len(rows)))
+            for index in range(len(rows)):
+                _, sense, _ = row_keys[index]
+                if sense not in ("<=", ">=") or index not in kept:
+                    continue
+                others = [position for position in kept if position != index]
+                if not others:
                     break
-            else:
-                self.warm_probes += 1
-            self.probes += 1
-            try:
-                implied = context.probe(index)
-            except EngineError:
-                # A wedged context cannot answer further probes; keep every
-                # undecided row (pruning is an optimisation, never required).
-                break
-            if implied:
-                kept = others
-                self.rows_dropped += 1
+                if context is None:
+                    context = _BlockContext(row_keys, names, boxes, self.stats)
+                    self.context_builds += 1
+                    if not context.feasible:
+                        # Infeasible block: leave it whole for the scheduler.
+                        kept = list(range(len(rows)))
+                        break
+                else:
+                    self.warm_probes += 1
+                self.probes += 1
+                try:
+                    implied = context.probe(index)
+                except EngineError:
+                    # A wedged context cannot answer further probes; keep
+                    # every undecided row (pruning is an optimisation, never
+                    # required).
+                    break
+                if implied:
+                    kept = others
+                    self.rows_dropped += 1
+            span.set("probes", self.probes - probes_before)
+            span.set("pivots", self.stats.pivots - pivots_before)
+            span.set("rows_dropped", len(rows) - len(kept))
         self._verdicts[signature] = tuple(kept)
         return [rows[index] for index in kept]
 

@@ -35,6 +35,7 @@ from typing import Mapping, Sequence
 from ..linalg.rational import as_fraction
 from ..linalg.sparse import SparseRow
 from ..linalg.varspace import VariableSpace, clear_denominators
+from ..obs import active_tracer
 from .constraint import AffineConstraint
 from .fourier_motzkin import (
     active_core,
@@ -45,7 +46,7 @@ from .fourier_motzkin import (
 )
 from .polyhedron import Polyhedron
 from .space import CONSTANT_KEY
-from .sparse_fm import SparseSystem
+from .sparse_fm import FM_STATS, FmStatistics, SparseSystem
 
 __all__ = ["FarkasResult", "farkas_nonnegative", "LinearCombination"]
 
@@ -114,6 +115,7 @@ def farkas_nonnegative(
     polyhedron: Polyhedron,
     coefficient_templates: Mapping[str, LinearCombination],
     constant_template: LinearCombination,
+    stats: FmStatistics | None = None,
 ) -> FarkasResult:
     """Linearise ``f(x) >= 0 for all x in polyhedron`` into ILP constraints.
 
@@ -124,7 +126,10 @@ def farkas_nonnegative(
     are treated as having a zero coefficient in ``f``.
 
     The returned constraints involve only the ILP variable names used in the
-    templates (the Farkas multipliers are eliminated).
+    templates (the Farkas multipliers are eliminated).  *stats* is the
+    elimination-counter sink for the multiplier elimination; ``None`` falls
+    back to the process-global :data:`~repro.polyhedra.sparse_fm.FM_STATS`
+    (deprecated default — concurrent schedulers pass their per-run sink).
     """
     # One inequality per multiplier: equalities of the polyhedron contribute a
     # +/- pair so that every multiplier is sign-constrained.
@@ -139,13 +144,44 @@ def farkas_nonnegative(
                 (tuple(-value for value in coefficients), -expression.constant)
             )
 
-    if active_core() == "sparse":
-        return _farkas_sparse(
-            inequality_rows, dimension_names, coefficient_templates, constant_template
+    tracer = active_tracer()
+    if not tracer.enabled:
+        if active_core() == "sparse":
+            return _farkas_sparse(
+                inequality_rows, dimension_names, coefficient_templates,
+                constant_template, stats,
+            )
+        return _farkas_dense(
+            inequality_rows, dimension_names, coefficient_templates,
+            constant_template, stats,
         )
-    return _farkas_dense(
-        inequality_rows, dimension_names, coefficient_templates, constant_template
-    )
+    with tracer.span(
+        "fm.farkas", category="fm", multipliers=len(inequality_rows)
+    ) as span:
+        # Tracing must not change where counters land: a missing *stats*
+        # still feeds the deprecated global, exactly like the untraced path.
+        observed = stats if stats is not None else FM_STATS
+        before = observed.as_dict()
+        if active_core() == "sparse":
+            result = _farkas_sparse(
+                inequality_rows, dimension_names, coefficient_templates,
+                constant_template, observed,
+            )
+        else:
+            result = _farkas_dense(
+                inequality_rows, dimension_names, coefficient_templates,
+                constant_template, observed,
+            )
+        delta = observed.delta_since(before)
+        span.update(
+            {
+                key: value
+                for key, value in delta.items()
+                if key
+                in ("fm_rows_generated", "fm_rows_pruned", "fm_rows_emitted")
+            }
+        )
+    return result
 
 
 # --------------------------------------------------------------------------- #
@@ -156,6 +192,7 @@ def _farkas_sparse(
     dimension_names: Sequence[str],
     coefficient_templates: Mapping[str, LinearCombination],
     constant_template: LinearCombination,
+    stats: FmStatistics | None = None,
 ) -> FarkasResult:
     n_multipliers = len(inequality_rows)
     # Column layout: [multipliers | ILP variables]; the constant is carried by
@@ -206,7 +243,7 @@ def _farkas_sparse(
     rows.append(SparseRow.from_rational_terms(pairs, constant))
     kinds.append(False)
 
-    system = SparseSystem.from_rows(rows, kinds)
+    system = SparseSystem.from_rows(rows, kinds, stats=stats)
     system.eliminate_columns(range(n_multipliers))
 
     # Only ILP columns survive; shift them down to the ILP space's indexing so
@@ -235,6 +272,7 @@ def _farkas_dense(
     dimension_names: Sequence[str],
     coefficient_templates: Mapping[str, LinearCombination],
     constant_template: LinearCombination,
+    stats: FmStatistics | None = None,
 ) -> FarkasResult:
     n_multipliers = len(inequality_rows)
     # Column layout: [multipliers | ILP variables | constant].  The ILP-variable
@@ -280,8 +318,8 @@ def _farkas_dense(
         rows.append(clear_denominators(dense))
         kinds.append(is_equality)
 
-    rows, kinds = eliminate_columns(rows, kinds, range(n_multipliers))
-    rows, kinds = simplify_rows(rows, kinds)
+    rows, kinds = eliminate_columns(rows, kinds, range(n_multipliers), stats=stats)
+    rows, kinds = simplify_rows(rows, kinds, stats=stats)
 
     # Only the ILP columns survive; re-index them for the named conversion.
     # The multiplier placeholder names must be distinct from every ILP

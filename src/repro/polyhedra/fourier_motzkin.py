@@ -43,7 +43,7 @@ from ..linalg.sparse import SparseRow
 from ..linalg.varspace import VariableSpace, clear_denominators, reduce_integer_row
 from .affine import AffineExpr
 from .constraint import AffineConstraint, ConstraintKind
-from .sparse_fm import FM_STATS, SparseSystem
+from .sparse_fm import FM_STATS, FmStatistics, SparseSystem
 
 __all__ = [
     # AffineConstraint API
@@ -94,13 +94,20 @@ def eliminate_variable(
 
 
 def eliminate_variables(
-    constraints: Sequence[AffineConstraint], names: Iterable[str]
+    constraints: Sequence[AffineConstraint],
+    names: Iterable[str],
+    stats: FmStatistics | None = None,
 ) -> list[AffineConstraint]:
-    """Eliminate several variables, one at a time (cheapest first)."""
+    """Eliminate several variables, one at a time (cheapest first).
+
+    *stats* is the elimination-counter sink; ``None`` keeps the historical
+    process-global :data:`FM_STATS` (deprecated default — concurrent callers
+    should pass their own :class:`FmStatistics`).
+    """
     space = VariableSpace()
     if active_core() == "sparse":
         sparse_rows, kinds = constraints_to_sparse(constraints, space)
-        system = SparseSystem.from_rows(sparse_rows, kinds)
+        system = SparseSystem.from_rows(sparse_rows, kinds, stats=stats)
         columns = [
             column
             for column in (space.get(name) for name in names)
@@ -117,21 +124,23 @@ def eliminate_variables(
         if column is not None
     ]
     if not columns:
-        rows, kinds = simplify_rows(rows, kinds)
+        rows, kinds = simplify_rows(rows, kinds, stats=stats)
     else:
-        rows, kinds = eliminate_columns(rows, kinds, columns)
+        rows, kinds = eliminate_columns(rows, kinds, columns, stats=stats)
     return rows_to_constraints(rows, kinds, space)
 
 
-def simplify_constraints(constraints: Sequence[AffineConstraint]) -> list[AffineConstraint]:
+def simplify_constraints(
+    constraints: Sequence[AffineConstraint], stats: FmStatistics | None = None
+) -> list[AffineConstraint]:
     """Normalise coefficients, drop duplicates/subsumed and trivially-true constraints."""
     space = VariableSpace()
     if active_core() == "sparse":
         sparse_rows, kinds = constraints_to_sparse(constraints, space)
-        system = SparseSystem.from_rows(sparse_rows, kinds)
+        system = SparseSystem.from_rows(sparse_rows, kinds, stats=stats)
         return sparse_to_constraints(system.rows(), space)
     rows, kinds = constraints_to_rows(constraints, space)
-    rows, kinds = simplify_rows(rows, kinds)
+    rows, kinds = simplify_rows(rows, kinds, stats=stats)
     return rows_to_constraints(rows, kinds, space)
 
 
@@ -217,14 +226,18 @@ def sparse_to_constraints(
 # --------------------------------------------------------------------------- #
 # Dense indexed integer core (retained; REPRO_FM_CORE=dense)
 # --------------------------------------------------------------------------- #
-def simplify_rows(rows: IndexedRows, kinds: RowKinds) -> tuple[IndexedRows, RowKinds]:
+def simplify_rows(
+    rows: IndexedRows, kinds: RowKinds, stats: FmStatistics | None = None
+) -> tuple[IndexedRows, RowKinds]:
     """GCD-reduce rows, drop duplicates and trivially-true rows (order kept)."""
-    rows, kinds, _keys = _simplify_rows_cached(rows, kinds, [None] * len(rows))
+    rows, kinds, _keys = _simplify_rows_cached(
+        rows, kinds, [None] * len(rows), stats if stats is not None else FM_STATS
+    )
     return rows, kinds
 
 
 def _simplify_rows_cached(
-    rows: IndexedRows, kinds: RowKinds, keys: list[tuple | None]
+    rows: IndexedRows, kinds: RowKinds, keys: list[tuple | None], stats: FmStatistics
 ) -> tuple[IndexedRows, RowKinds, list[tuple]]:
     """Order-preserving simplify that only re-scans rows without a cached key.
 
@@ -241,7 +254,7 @@ def _simplify_rows_cached(
     out_keys: list[tuple] = []
     for row, is_equality, key in zip(rows, kinds, keys):
         if key is None:
-            FM_STATS.simplify_row_scans += 1
+            stats.simplify_row_scans += 1
             row = reduce_integer_row(row)
             if not any(row[:-1]):
                 constant = row[-1]
@@ -259,17 +272,25 @@ def _simplify_rows_cached(
 
 
 def eliminate_column(
-    rows: IndexedRows, kinds: RowKinds, column: int
+    rows: IndexedRows,
+    kinds: RowKinds,
+    column: int,
+    stats: FmStatistics | None = None,
 ) -> tuple[IndexedRows, RowKinds]:
     """Project the indexed system onto the columns other than *column*."""
     rows, kinds, _keys = _eliminate_column_cached(
-        rows, kinds, [None] * len(rows), column
+        rows, kinds, [None] * len(rows), column,
+        stats if stats is not None else FM_STATS,
     )
     return rows, kinds
 
 
 def _eliminate_column_cached(
-    rows: IndexedRows, kinds: RowKinds, keys: list[tuple | None], column: int
+    rows: IndexedRows,
+    kinds: RowKinds,
+    keys: list[tuple | None],
+    column: int,
+    stats: FmStatistics,
 ) -> tuple[IndexedRows, RowKinds, list[tuple]]:
     pivot_index: int | None = None
     pivot_magnitude = 0
@@ -281,15 +302,22 @@ def _eliminate_column_cached(
                 pivot_magnitude = magnitude
     if pivot_index is not None:
         return _simplify_rows_cached(
-            *_substitute_with_equality(rows, kinds, keys, pivot_index, column)
+            *_substitute_with_equality(rows, kinds, keys, pivot_index, column, stats),
+            stats,
         )
-    return _simplify_rows_cached(*_fourier_motzkin_step(rows, kinds, keys, column))
+    return _simplify_rows_cached(
+        *_fourier_motzkin_step(rows, kinds, keys, column, stats), stats
+    )
 
 
 def eliminate_columns(
-    rows: IndexedRows, kinds: RowKinds, columns: Iterable[int]
+    rows: IndexedRows,
+    kinds: RowKinds,
+    columns: Iterable[int],
+    stats: FmStatistics | None = None,
 ) -> tuple[IndexedRows, RowKinds]:
     """Eliminate several columns, one at a time (cheapest first)."""
+    stats = stats if stats is not None else FM_STATS
     started = time.perf_counter()
     remaining = list(columns)
     keys: list[tuple | None] = [None] * len(rows)
@@ -320,17 +348,17 @@ def eliminate_columns(
                 best_cost = cost
         assert best is not None
         remaining.remove(best)
-        rows, kinds, keys = _eliminate_column_cached(rows, kinds, keys, best)
-        FM_STATS.eliminations += 1
-    FM_STATS.elimination_seconds += time.perf_counter() - started
-    FM_STATS.rows_emitted += len(rows)
-    FM_STATS.emitted_nnz += sum(
+        rows, kinds, keys = _eliminate_column_cached(rows, kinds, keys, best, stats)
+        stats.eliminations += 1
+    stats.elimination_seconds += time.perf_counter() - started
+    stats.rows_emitted += len(rows)
+    stats.emitted_nnz += sum(
         1 for row in rows for value in row[:-1] if value
     )
     live_columns = {
         column for row in rows for column, value in enumerate(row[:-1]) if value
     }
-    FM_STATS.emitted_cells += len(rows) * len(live_columns)
+    stats.emitted_cells += len(rows) * len(live_columns)
     return rows, kinds
 
 
@@ -340,6 +368,7 @@ def _substitute_with_equality(
     keys: list[tuple | None],
     pivot_index: int,
     column: int,
+    stats: FmStatistics,
 ) -> tuple[IndexedRows, RowKinds, list[tuple | None]]:
     pivot = rows[pivot_index]
     pivot_coefficient = pivot[column]
@@ -365,12 +394,16 @@ def _substitute_with_equality(
         )
         out_kinds.append(is_equality)
         out_keys.append(None)
-        FM_STATS.rows_generated += 1
+        stats.rows_generated += 1
     return out_rows, out_kinds, out_keys
 
 
 def _fourier_motzkin_step(
-    rows: IndexedRows, kinds: RowKinds, keys: list[tuple | None], column: int
+    rows: IndexedRows,
+    kinds: RowKinds,
+    keys: list[tuple | None],
+    column: int,
+    stats: FmStatistics,
 ) -> tuple[IndexedRows, RowKinds, list[tuple | None]]:
     unrelated_rows: IndexedRows = []
     unrelated_kinds: RowKinds = []
@@ -395,7 +428,7 @@ def _fourier_motzkin_step(
         for upper in upper_bounds:
             b = -upper[column]
             combined.append([b * lv + a * uv for lv, uv in zip(lower, upper)])
-    FM_STATS.rows_generated += len(combined)
+    stats.rows_generated += len(combined)
     return (
         unrelated_rows + combined,
         unrelated_kinds + [False] * len(combined),

@@ -241,37 +241,47 @@ class PolyTOPSScheduler:
                 undo_state = None
                 continue
 
-            # --- 2. The standard ILP step.
+            # --- 2. The standard ILP step.  One span per scheduling
+            # dimension: the per-solve ``ilp.solve`` spans (and the FM spans
+            # of any block linearised on this dimension) nest inside it.
             custom_rows = parser.parse_all(custom_texts)
             plan = directives.plan_for_dimension(dimension, progression, active_objects)
             directive_rows = plan.rows if plan is not None else []
 
             solution = None
-            for attempt_rows in ([directive_rows, []] if directive_rows else [[]]):
-                problem = builder.build(
-                    dimension, active_objects, progression, dimension_config,
-                    custom_rows, attempt_rows,
-                )
-                solution = self.solver_context.solve(problem)
-                ilp_count += 1
-                if solution is not None:
-                    break
+            with self.solver_context.tracer.span(
+                "scheduler.dimension",
+                category="scheduler",
+                dimension=dimension,
+                band=band,
+                active_dependences=len(active),
+            ) as dimension_span:
+                for attempt_rows in ([directive_rows, []] if directive_rows else [[]]):
+                    problem = builder.build(
+                        dimension, active_objects, progression, dimension_config,
+                        custom_rows, attempt_rows,
+                    )
+                    solution = self.solver_context.solve(problem)
+                    ilp_count += 1
+                    if solution is not None:
+                        break
 
-            if solution is None:
-                # Close the band: drop strongly satisfied dependences, retry once.
-                removed = self._remove_satisfied(active, strongly_satisfied)
-                band += 1
-                if removed:
-                    active_objects = [self.dependences[index] for index in active]
-                    for attempt_rows in ([directive_rows, []] if directive_rows else [[]]):
-                        problem = builder.build(
-                            dimension, active_objects, progression, dimension_config,
-                            custom_rows, attempt_rows,
-                        )
-                        solution = self.solver_context.solve(problem)
-                        ilp_count += 1
-                        if solution is not None:
-                            break
+                if solution is None:
+                    # Close the band: drop strongly satisfied dependences, retry once.
+                    removed = self._remove_satisfied(active, strongly_satisfied)
+                    band += 1
+                    if removed:
+                        active_objects = [self.dependences[index] for index in active]
+                        for attempt_rows in ([directive_rows, []] if directive_rows else [[]]):
+                            problem = builder.build(
+                                dimension, active_objects, progression, dimension_config,
+                                custom_rows, attempt_rows,
+                            )
+                            solution = self.solver_context.solve(problem)
+                            ilp_count += 1
+                            if solution is not None:
+                                break
+                dimension_span.set("solved", solution is not None)
 
             if solution is not None:
                 undo_state = self._snapshot(rows, bands, parallel, strongly_satisfied)

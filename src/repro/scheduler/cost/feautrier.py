@@ -44,8 +44,13 @@ class FeautrierCost(CostFunction):
             if key not in cache:
                 source = context.statement(dependence.source)
                 target = context.statement(dependence.target)
+                solver_context = context.solver_context
                 cache[key] = legality_rows(
-                    dependence, source, target, minimum={indicator: Fraction(1)}
+                    dependence,
+                    source,
+                    target,
+                    minimum={indicator: Fraction(1)},
+                    stats=solver_context.fm_stats if solver_context is not None else None,
                 )
             context.add_rows(cache[key])
         if indicators:

@@ -56,9 +56,13 @@ class ProximityCost(CostFunction):
             if key not in cache:
                 source = context.statement(dependence.source)
                 target = context.statement(dependence.target)
-                rows = bounding_rows(dependence, source, target, u_names, w_name)
-                if context.solver_context is not None:
-                    rows = context.solver_context.prune_rows(rows, boxes)
+                solver_context = context.solver_context
+                rows = bounding_rows(
+                    dependence, source, target, u_names, w_name,
+                    stats=solver_context.fm_stats if solver_context is not None else None,
+                )
+                if solver_context is not None:
+                    rows = solver_context.prune_rows(rows, boxes)
                 cache[key] = rows
             context.add_rows(cache[key])
 

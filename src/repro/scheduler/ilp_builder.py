@@ -106,7 +106,11 @@ class IlpBuilder:
                 # only shrinks its box, so an implied row stays implied for
                 # every later dimension that replays the cached block.
                 legality_cache[key] = self.solver_context.prune_rows(
-                    legality_rows(dependence, source, target, minimum=0), boxes
+                    legality_rows(
+                        dependence, source, target, minimum=0,
+                        stats=self.solver_context.fm_stats,
+                    ),
+                    boxes,
                 )
             context.add_rows(legality_cache[key])
 

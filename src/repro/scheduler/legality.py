@@ -19,6 +19,7 @@ from typing import Mapping
 from ..deps.dependence import Dependence
 from ..model.statement import Statement
 from ..polyhedra.farkas import farkas_nonnegative
+from ..polyhedra.sparse_fm import FmStatistics
 from ..polyhedra.space import CONSTANT_KEY
 from .naming import dependence_difference_templates
 
@@ -32,6 +33,7 @@ def legality_rows(
     source: Statement,
     target: Statement,
     minimum: Mapping[str, Fraction] | int = 0,
+    stats: FmStatistics | None = None,
 ) -> list[IlpRow]:
     """Rows enforcing ``phi_target - phi_source >= minimum`` over the dependence.
 
@@ -50,7 +52,7 @@ def legality_rows(
                 constant[CONSTANT_KEY] = constant.get(CONSTANT_KEY, Fraction(0)) - value
             else:
                 constant[name] = constant.get(name, Fraction(0)) - value
-    result = farkas_nonnegative(dependence.polyhedron, coefficients, constant)
+    result = farkas_nonnegative(dependence.polyhedron, coefficients, constant, stats=stats)
     return result.as_rows()
 
 
@@ -60,6 +62,7 @@ def bounding_rows(
     target: Statement,
     parameter_bound_variables: Mapping[str, str],
     constant_bound_variable: str,
+    stats: FmStatistics | None = None,
 ) -> list[IlpRow]:
     """Rows enforcing ``u . N + w - (phi_target - phi_source) >= 0`` over the dependence.
 
@@ -79,5 +82,5 @@ def bounding_rows(
     negated_constant[constant_bound_variable] = (
         negated_constant.get(constant_bound_variable, Fraction(0)) + 1
     )
-    result = farkas_nonnegative(dependence.polyhedron, negated, negated_constant)
+    result = farkas_nonnegative(dependence.polyhedron, negated, negated_constant, stats=stats)
     return result.as_rows()

@@ -37,10 +37,24 @@ from typing import Mapping
 from ..deps.dependence import Dependence
 from ..ilp.options import SolverOptions
 from ..ilp.solver import IlpSolver
-
-from ..polyhedra.sparse_fm import FM_STATS
+from ..obs import active_tracer
+from ..polyhedra.sparse_fm import FmStatistics
 
 __all__ = ["SolverContext"]
+
+#: Engine counters attached (as exact per-solve deltas) to every
+#: ``ilp.solve`` span.  One tuple so the traced and untraced paths can never
+#: drift apart on which counters they snapshot.
+_SOLVE_SPAN_COUNTERS = (
+    "pivots",
+    "phase1_pivots",
+    "nodes",
+    "warm_start_hits",
+    "dim_warm_starts",
+    "warm_pivots_saved",
+    "warm_aborts",
+    "warm_skips",
+)
 
 IlpRow = tuple[dict[str, Fraction], str, Fraction]
 
@@ -57,6 +71,7 @@ class SolverContext:
         processes: bool | None = None,
         core: str | None = None,
         options: SolverOptions | None = None,
+        tracer=None,
     ):
         # The per-knob parameters fold into the options silently (no
         # DeprecationWarning here: the scheduler's own config still resolves
@@ -80,12 +95,16 @@ class SolverContext:
         #: entirely under ``warm_start=False`` or the oracle engine).
         self._warm_hint = None
         self._prober = None
-        # Snapshot of the process-wide elimination counters: the run's Farkas
-        # linearisations all happen after context construction, so the delta
-        # at statistics() time is this run's elimination work.  (Concurrent
-        # runs in one process bleed into each other's deltas — the counters
-        # are observability, matching the engine statistics' contract.)
-        self._fm_snapshot = FM_STATS.as_dict()
+        #: Per-run Fourier–Motzkin/Farkas counters.  Every linearisation of
+        #: this run threads this object down to the elimination cores, so the
+        #: numbers are exact even when several scheduling runs execute
+        #: concurrently in one process (the historical process-global
+        #: ``FM_STATS`` delta interleaved increments across threads).
+        self.fm_stats = FmStatistics()
+        #: The tracer the run's ILP solves record spans against; resolved at
+        #: construction time (the schedule stage runs with the session tracer
+        #: activated), injectable for tests.
+        self.tracer = tracer if tracer is not None else active_tracer()
         for dependence in dependences:
             self.intern_dependence(dependence)
 
@@ -133,7 +152,7 @@ class SolverContext:
         if self._prober is None:
             from ..polyhedra.emptiness import RedundancyProber
 
-            self._prober = RedundancyProber(self.options)
+            self._prober = RedundancyProber(self.options, tracer=self.tracer)
         return self._prober.prune(rows, boxes)
 
     # ------------------------------------------------------------------ #
@@ -145,7 +164,26 @@ class SolverContext:
         Under ``warm_start=True`` (and the incremental engine) the previous
         solve's exported basis seeds this solve's root tableau; the hint for
         the *next* call is refreshed from whatever basis this solve ends on.
+        When a tracer is active, every solve records an ``ilp.solve`` span
+        with the engine-counter deltas (pivots, nodes, warm counters) it
+        caused — tracing never changes what the solver does.
         """
+        if not self.tracer.enabled:
+            return self._solve(problem)
+        statistics = self.solver.statistics
+        with self.tracer.span(
+            "ilp.solve", category="ilp", solve_call=self.solve_calls + 1
+        ) as span:
+            before = {
+                name: getattr(statistics, name) for name in _SOLVE_SPAN_COUNTERS
+            }
+            solution = self._solve(problem)
+            for name in _SOLVE_SPAN_COUNTERS:
+                span.set(name, getattr(statistics, name) - before[name])
+            span.set("feasible", solution is not None)
+        return solution
+
+    def _solve(self, problem):
         self.solve_calls += 1
         use_warm = self.options.warm_start and self.options.engine == "incremental"
         hint = self._warm_hint if use_warm else None
@@ -175,7 +213,7 @@ class SolverContext:
         """
         summary = self.solver.statistics_summary()
         summary["solve_calls"] = self.solve_calls
-        summary.update(FM_STATS.delta_since(self._fm_snapshot))
+        summary.update(self.fm_stats.as_dict())
         if self._prober is not None:
             summary.update(self._prober.statistics())
         else:

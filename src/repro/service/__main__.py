@@ -86,12 +86,16 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         store=store,
         auth=auth,
         job_workers=arguments.job_workers,
+        access_log=arguments.access_log,
+        trace_dir=arguments.trace_dir,
     )
     host, port = server.address
     mode = "open (no tokens configured)" if auth.open else f"{len(auth.tokens)} token(s)"
     print(f"repro.service listening on http://{host}:{port}", flush=True)
     print(f"  store: {store.path if store else 'none (in-memory session cache only)'}", flush=True)
     print(f"  auth:  {mode}", flush=True)
+    if arguments.trace_dir:
+        print(f"  traces: one Chrome-trace JSON per compiled request in {arguments.trace_dir}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -169,6 +173,16 @@ def main(argv: list[str] | None = None) -> int:
         "--tokens",
         default=None,
         help="auth tokens as 'token=cap1,cap2;token2=...' (default: REPRO_SERVICE_TOKENS, else open)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        help="write one Perfetto-loadable Chrome-trace JSON per compiled request into this directory",
+    )
+    serve.add_argument(
+        "--access-log",
+        action="store_true",
+        help="emit one structured JSON access-log line per request to stderr (default: off)",
     )
     serve.set_defaults(run=_cmd_serve)
 

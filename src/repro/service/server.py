@@ -17,14 +17,24 @@ HTTP services):
 * :class:`CompilationServer` — stdlib ``ThreadingHTTPServer`` wiring; no
   dependencies outside the standard library.
 
-Endpoints (all JSON)::
+Endpoints (JSON unless noted)::
 
     GET  /v1/healthz              liveness (unauthenticated)
     POST /v1/compile              one-shot compile, cache-aware      [compile]
     POST /v1/jobs                 submit an asynchronous compile     [compile]
     GET  /v1/jobs/{id}            job state, progress, result        [read]
     GET  /v1/results/{fp}         stored result by fingerprint       [read]
+    GET  /v1/metrics              Prometheus text exposition         [read]
     GET  /v1/stats                session + store + job counters     [admin]
+
+Observability: every request and every asynchronous job records one span on
+the session tracer (``service.request`` / ``service.job``, tagged with the
+cache origin when the route compiled something), the
+:class:`~repro.obs.MetricsRegistry` behind ``/v1/metrics`` counts requests by
+route/status and compiles by cache origin, ``trace_dir=`` writes one
+Perfetto-loadable Chrome trace per actually-compiled request, and
+``access_log=True`` emits one structured JSON line per request to stderr
+(method, path, status, duration, cache origin) — off by default.
 """
 
 from __future__ import annotations
@@ -32,6 +42,9 @@ from __future__ import annotations
 import functools
 import itertools
 import json
+import os
+import re
+import sys
 import threading
 import time
 import uuid
@@ -41,6 +54,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 
 from ..machine.machine import MachineModel
+from ..obs import MetricsRegistry
 from ..pipeline.session import Session
 from .wire import WIRE_VERSION, WireError, decode_compile_request, encode_result
 
@@ -221,13 +235,26 @@ class JobManager:
     the observer appends the finished stage (name + seconds) to that job.
     """
 
-    def __init__(self, session: Session, workers: int = 2):
+    def __init__(
+        self,
+        session: Session,
+        workers: int = 2,
+        *,
+        trace_path: Callable[[str], str | None] | None = None,
+        on_finished: Callable[[Job], None] | None = None,
+    ):
         self.session = session
         self._pool = ThreadPoolExecutor(max_workers=max(1, workers), thread_name_prefix="repro-job")
         self._jobs: dict[str, Job] = {}
         self._lock = threading.Lock()
         self._current = threading.local()
         self._counter = itertools.count(1)
+        #: ``trace_path(kernel)`` names the Chrome-trace file a job's compile
+        #: should write (``None`` disables per-job traces).
+        self._trace_path = trace_path
+        #: Called with the job once it reaches a terminal state (done/failed);
+        #: the service uses it to keep the metrics registry current.
+        self._on_finished = on_finished
         if session.stage_observer is None:
             session.stage_observer = self._observe_stage
         self.statistics = {"submitted": 0, "completed": 0, "failed": 0}
@@ -254,21 +281,27 @@ class JobManager:
         job.state = "running"
         job.started_at = time.time()
         self._current.job = job
+        tracer = self.session.tracer
         try:
-            outcome = self.session.compile_with_origin(
-                request["scop"],
-                request["config"],
-                request["machine"],
-                request["parameter_values"],
-                request["label"],
-                solver=request.get("solver"),
-            )
-            job.result = outcome.result
-            job.origin = outcome.origin
-            job.fingerprint = outcome.fingerprint
-            job.state = "done"
-            with self._lock:
-                self.statistics["completed"] += 1
+            with tracer.span(
+                "service.job", category="service", job=job.id, kernel=job.kernel
+            ) as span:
+                outcome = self.session.compile_with_origin(
+                    request["scop"],
+                    request["config"],
+                    request["machine"],
+                    request["parameter_values"],
+                    request["label"],
+                    solver=request.get("solver"),
+                    trace=self._trace_path(job.kernel) if self._trace_path else None,
+                )
+                job.result = outcome.result
+                job.origin = outcome.origin
+                job.fingerprint = outcome.fingerprint
+                job.state = "done"
+                span.set("cache", outcome.origin)
+                with self._lock:
+                    self.statistics["completed"] += 1
         except Exception as error:
             job.error = {"code": "compile_failed", "message": f"{type(error).__name__}: {error}"}
             job.state = "failed"
@@ -277,6 +310,8 @@ class JobManager:
         finally:
             self._current.job = None
             job.finished_at = time.time()
+            if self._on_finished is not None:
+                self._on_finished(job)
 
     def get(self, job_id: str) -> Job:
         with self._lock:
@@ -310,12 +345,85 @@ class CompileService:
         auth: ServiceAuth | None = None,
         job_workers: int = 2,
         session: Session | None = None,
+        access_log: bool = False,
+        trace_dir: str | None = None,
     ):
         self.session = session if session is not None else Session(machine, store=store)
         self.store = self.session.store
         self.auth = auth if auth is not None else ServiceAuth()
-        self.jobs = JobManager(self.session, workers=job_workers)
+        #: Request/job spans land on the session tracer (a no-op unless the
+        #: session was built with one, e.g. via ``REPRO_TRACE``).
+        self.tracer = self.session.tracer
+        self.access_log = access_log
+        self.trace_dir = trace_dir
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+        self._trace_counter = itertools.count(1)
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "repro_requests_total", "HTTP requests served, by route and status."
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_request_seconds", "Request wall-clock latency in seconds, by route."
+        )
+        self._compiles = self.metrics.counter(
+            "repro_compiles_total",
+            "Compilations served, by cache origin (memory, store, miss).",
+        )
+        self._jobs_finished = self.metrics.counter(
+            "repro_jobs_total", "Asynchronous jobs finished, by terminal state."
+        )
+        self._job_states = self.metrics.gauge(
+            "repro_jobs_current", "Jobs currently known to the manager, by state."
+        )
+        self._session_events = self.metrics.gauge(
+            "repro_session_cache_events",
+            "Session cache counters (exact, refreshed at scrape time).",
+        )
+        self._cached_results = self.metrics.gauge(
+            "repro_session_cached_results", "Results held in the in-memory session cache."
+        )
+        self._uptime = self.metrics.gauge(
+            "repro_uptime_seconds", "Seconds since the service started."
+        )
+        self.jobs = JobManager(
+            self.session,
+            workers=job_workers,
+            trace_path=self.trace_path if trace_dir is not None else None,
+            on_finished=self._observe_job,
+        )
         self.started_at = time.time()
+
+    # -- observability ---------------------------------------------------- #
+    def trace_path(self, kernel: str) -> str | None:
+        """A fresh Chrome-trace filename under ``trace_dir`` (or ``None``)."""
+        if self.trace_dir is None:
+            return None
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", kernel) or "kernel"
+        return os.path.join(self.trace_dir, f"{safe}-{next(self._trace_counter)}.json")
+
+    def observe_request(
+        self, route: str, status: int, seconds: float, cache: str | None = None
+    ) -> None:
+        """Record one served request in the metrics registry."""
+        self._requests.labels(route=route, status=str(status)).inc()
+        self._request_seconds.labels(route=route).observe(seconds)
+        if cache is not None:
+            self._compiles.labels(origin=cache).inc()
+
+    def _observe_job(self, job: Job) -> None:
+        self._jobs_finished.labels(state=job.state).inc()
+        if job.origin is not None:
+            self._compiles.labels(origin=job.origin).inc()
+
+    def _refresh_gauges(self) -> None:
+        """Bring scrape-time gauges up to date before rendering."""
+        self._uptime.set(time.time() - self.started_at)
+        self._cached_results.set(self.session.cached_results)
+        for event, value in self.session.statistics.items():
+            self._session_events.labels(event=event).set(value)
+        for state, count in self.jobs.stats()["states"].items():
+            self._job_states.labels(state=state).set(count)
 
     # -- routes ---------------------------------------------------------- #
     @with_route_errors
@@ -338,6 +446,7 @@ class CompileService:
             request["parameter_values"],
             request["label"],
             solver=request.get("solver"),
+            trace=self.trace_path(request["scop"].name),
         )
         return 200, encode_result(
             outcome.result, cache=outcome.origin, fingerprint=outcome.fingerprint
@@ -375,6 +484,19 @@ class CompileService:
                 404, "result_not_found", f"no stored result for fingerprint {fingerprint!r}"
             )
         return 200, encode_result(result, cache="store", fingerprint=fingerprint)
+
+    @with_route_errors
+    def handle_metrics(self, token: str | None) -> tuple[int, Any]:
+        """Prometheus text exposition of the service metrics (``read``).
+
+        Returns the rendered text body (a ``str``); the HTTP adapter serves
+        it with the text-format content type.  Error envelopes from the
+        wrapper stay JSON like every other route.
+        """
+        capabilities = self.auth.authenticate(token)
+        self.auth.require_capability(capabilities, "read")
+        self._refresh_gauges()
+        return 200, self.metrics.render_prometheus()
 
     @with_route_errors
     def handle_stats(self, token: str | None) -> tuple[int, dict]:
@@ -427,41 +549,105 @@ class _ServiceHTTPRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # keep test/CI output clean; stats carry the counters
+        pass  # the opt-in structured access log in _dispatch replaces this
+
+    def _dispatch(self, route: str, respond: Callable[[], tuple[int, Any]]) -> None:
+        """Serve one routed request: span, response, metrics, access log.
+
+        ``route`` is the route *template* (``/v1/jobs/{id}``, not the actual
+        path), keeping the metric label cardinality bounded.  A ``str`` body
+        is served as text (the metrics exposition), everything else as JSON.
+        """
+        service = self.service
+        start = time.perf_counter()
+        with service.tracer.span(
+            "service.request", category="service", method=self.command, route=route
+        ) as span:
+            status, document = respond()
+            cache = document.get("cache") if isinstance(document, dict) else None
+            span.set("status", status)
+            if cache is not None:
+                span.set("cache", cache)
+        if isinstance(document, str):
+            self._respond_text(status, document)
+        else:
+            self._respond(status, document)
+        seconds = time.perf_counter() - start
+        service.observe_request(route, status, seconds, cache=cache)
+        if service.access_log:
+            record = {
+                "time": time.time(),
+                "client": self.client_address[0],
+                "method": self.command,
+                "path": self.path,
+                "route": route,
+                "status": status,
+                "duration_ms": round(seconds * 1e3, 3),
+            }
+            if cache is not None:
+                record["cache"] = cache
+            sys.stderr.write(json.dumps(record) + "\n")
+
+    def _with_body(
+        self, handler: Callable[[str | None, Any], tuple[int, dict]], token: str | None
+    ) -> tuple[int, dict]:
+        try:
+            payload = self._read_json()
+        except ServiceError as error:
+            return error.status, error.envelope()
+        return handler(token, payload)
 
     # -- routing --------------------------------------------------------- #
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         token = self._token()
         path = self.path.split("?", 1)[0].rstrip("/")
+        service = self.service
         if path == "/v1/healthz":
-            self._respond(*self.service.handle_healthz(token))
+            self._dispatch("/v1/healthz", lambda: service.handle_healthz(token))
+        elif path == "/v1/metrics":
+            self._dispatch("/v1/metrics", lambda: service.handle_metrics(token))
         elif path == "/v1/stats":
-            self._respond(*self.service.handle_stats(token))
+            self._dispatch("/v1/stats", lambda: service.handle_stats(token))
         elif path.startswith("/v1/jobs/"):
-            self._respond(*self.service.handle_job_status(token, path[len("/v1/jobs/") :]))
+            job_id = path[len("/v1/jobs/") :]
+            self._dispatch("/v1/jobs/{id}", lambda: service.handle_job_status(token, job_id))
         elif path.startswith("/v1/results/"):
-            self._respond(*self.service.handle_result(token, path[len("/v1/results/") :]))
+            fingerprint = path[len("/v1/results/") :]
+            self._dispatch(
+                "/v1/results/{fingerprint}",
+                lambda: service.handle_result(token, fingerprint),
+            )
         else:
-            self._respond(
-                404, ServiceError(404, "not_found", f"no route GET {path}").envelope()
+            self._dispatch(
+                "unmatched",
+                lambda: (404, ServiceError(404, "not_found", f"no route GET {path}").envelope()),
             )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         token = self._token()
         path = self.path.split("?", 1)[0].rstrip("/")
-        try:
-            payload = self._read_json()
-        except ServiceError as error:
-            self._respond(error.status, error.envelope())
-            return
+        service = self.service
         if path == "/v1/compile":
-            self._respond(*self.service.handle_compile(token, payload))
+            self._dispatch(
+                "/v1/compile", lambda: self._with_body(service.handle_compile, token)
+            )
         elif path == "/v1/jobs":
-            self._respond(*self.service.handle_submit_job(token, payload))
+            self._dispatch(
+                "/v1/jobs", lambda: self._with_body(service.handle_submit_job, token)
+            )
         else:
-            self._respond(
-                404, ServiceError(404, "not_found", f"no route POST {path}").envelope()
+            self._dispatch(
+                "unmatched",
+                lambda: (404, ServiceError(404, "not_found", f"no route POST {path}").envelope()),
             )
 
 
@@ -482,9 +668,17 @@ class CompilationServer:
         auth: ServiceAuth | None = None,
         job_workers: int = 2,
         session: Session | None = None,
+        access_log: bool = False,
+        trace_dir: str | None = None,
     ):
         self.service = CompileService(
-            machine, store=store, auth=auth, job_workers=job_workers, session=session
+            machine,
+            store=store,
+            auth=auth,
+            job_workers=job_workers,
+            session=session,
+            access_log=access_log,
+            trace_dir=trace_dir,
         )
         service = self.service
 

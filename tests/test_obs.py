@@ -1,0 +1,457 @@
+"""Tests of the observability layer: tracer, metrics, exporters, wiring.
+
+Covers span nesting and counter attachment, the guaranteed-no-op disabled
+path, thread safety of one tracer under ``compile_many(parallel=4)``, the
+Chrome-trace schema round trip (write → load → identical records), the hard
+bit-identity contracts (schedules unchanged tracing on/off; the
+``scheduler.run`` span carries counters exactly equal to
+``CompilationResult.solver_statistics``), the per-context Fourier–Motzkin
+statistics fix (concurrent compiles no longer interleave increments in a
+process-global), the metrics registry with its Prometheus rendering, and the
+service front door (``/v1/metrics``, capability checks, the opt-in access
+log, per-request trace files).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+_spec = importlib.util.spec_from_file_location(
+    "_obs_test_kernels", Path(__file__).with_name("conftest.py")
+)
+_kernels = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_kernels)
+build_gemm = _kernels.build_gemm
+build_jacobi_1d = _kernels.build_jacobi_1d
+build_listing1 = _kernels.build_listing1
+
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    activate,
+    active_tracer,
+    build_tree,
+    load_chrome_trace,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.pipeline import CompilationJob, Session
+from repro.service import CompilationServer, ServiceAuth, ServiceClient, ServiceClientError
+
+
+# --------------------------------------------------------------------------- #
+# Tracer core
+# --------------------------------------------------------------------------- #
+class TestTracer:
+    def test_span_nesting_records_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer", category="t") as outer:
+            with tracer.span("inner", category="t") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        records = {record.name: record for record in tracer.records}
+        assert records["outer"].parent_id is None
+        assert records["inner"].parent_id == records["outer"].span_id
+        assert records["inner"].start_ns >= records["outer"].start_ns
+        assert records["inner"].duration_ns <= records["outer"].duration_ns
+
+    def test_counter_attachment(self):
+        tracer = Tracer()
+        with tracer.span("work", category="t", size=3) as span:
+            span.add("items")
+            span.add("items", 4)
+            span.set("flag", True)
+            span.update({"pivots": 17})
+        (record,) = tracer.records
+        assert record.counters == {"size": 3, "items": 5, "flag": True, "pivots": 17}
+
+    def test_records_are_immutable_snapshots(self):
+        tracer = Tracer()
+        with tracer.span("a", category="t"):
+            pass
+        records = tracer.records
+        tracer.clear()
+        assert len(records) == 1 and tracer.records == []
+
+    def test_disabled_tracer_is_a_no_op(self):
+        assert not NULL_TRACER.enabled
+        span = NULL_TRACER.span("anything", category="t", extra=1)
+        with span as entered:
+            entered.add("x")
+            entered.set("y", 2)
+        assert NULL_TRACER.records == []
+        # The null span is one shared singleton: nothing is allocated per call.
+        assert NULL_TRACER.span("other") is span
+
+    def test_activation_is_scoped(self):
+        tracer = Tracer()
+        assert active_tracer() is NULL_TRACER
+        with activate(tracer):
+            assert active_tracer() is tracer
+        assert active_tracer() is NULL_TRACER
+
+    def test_thread_safety_of_one_tracer(self):
+        tracer = Tracer()
+
+        def worker(index: int) -> None:
+            for _ in range(50):
+                with tracer.span("outer", category="t", worker=index):
+                    with tracer.span("inner", category="t", worker=index):
+                        pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = tracer.records
+        assert len(records) == 4 * 50 * 2
+        by_id = {record.span_id: record for record in records}
+        for record in records:
+            if record.name == "inner":
+                parent = by_id[record.parent_id]
+                # Nesting is per thread: a span's parent lives on its thread.
+                assert parent.name == "outer"
+                assert parent.thread_id == record.thread_id
+                assert parent.counters["worker"] == record.counters["worker"]
+
+
+# --------------------------------------------------------------------------- #
+# Chrome-trace export
+# --------------------------------------------------------------------------- #
+class TestChromeTrace:
+    def _traced_tracer(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("outer", category="t", pivots=3):
+            with tracer.span("inner", category="t"):
+                pass
+        return tracer
+
+    def test_document_schema(self):
+        document = to_chrome_trace(self._traced_tracer())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        complete = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for event in complete:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        assert metadata and all(e["name"] == "thread_name" for e in metadata)
+
+    def test_round_trip_preserves_records(self, tmp_path):
+        tracer = self._traced_tracer()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path)
+        loaded = load_chrome_trace(path)
+        originals = sorted(tracer.records, key=lambda r: r.span_id)
+        assert len(loaded) == len(originals)
+        for original, recovered in zip(originals, loaded):
+            assert recovered.name == original.name
+            assert recovered.category == original.category
+            assert recovered.span_id == original.span_id
+            assert recovered.parent_id == original.parent_id
+            assert recovered.counters == original.counters
+            # Timestamps survive at the export's microsecond granularity.
+            assert abs(recovered.start_ns - original.start_ns) < 1000
+            assert abs(recovered.duration_ns - original.duration_ns) < 2000
+
+    def test_summaries_and_tree(self):
+        tracer = self._traced_tracer()
+        (root,) = build_tree(tracer.records)
+        assert root.record.name == "outer" and len(root.children) == 1
+        summary = summarize(tracer.records)
+        assert summary["outer"]["count"] == 1
+        assert summary["outer"]["counters"] == {"pivots": 3}
+        assert summary["outer"]["self_ns"] + summary["inner"]["wall_ns"] == summary[
+            "outer"
+        ]["wall_ns"]
+
+    def test_report_cli(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._traced_tracer(), path)
+        assert obs_main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "outer" in out and "inner" in out
+
+
+# --------------------------------------------------------------------------- #
+# Pipeline integration: the hard bit-identity contracts
+# --------------------------------------------------------------------------- #
+class TestPipelineTracing:
+    def test_trace_covers_every_layer(self):
+        tracer = Tracer()
+        session = Session(tracer=tracer)
+        session.compile(build_gemm(8, 8, 8))
+        names = {record.name for record in tracer.records}
+        assert {
+            "pipeline.compile",
+            "stage.schedule",
+            "scheduler.run",
+            "scheduler.dimension",
+            "ilp.solve",
+            "fm.farkas",
+        } <= names
+
+    def test_run_span_counters_equal_solver_statistics(self):
+        tracer = Tracer()
+        session = Session(tracer=tracer)
+        result = session.compile(build_gemm(8, 8, 8))
+        (run,) = [r for r in tracer.records if r.name == "scheduler.run"]
+        assert run.counters["kernel"] == "gemm"
+        counters = {k: v for k, v in run.counters.items() if k != "kernel"}
+        assert counters == result.solver_statistics
+
+    def test_ilp_spans_sum_to_engine_totals(self):
+        tracer = Tracer()
+        session = Session(tracer=tracer)
+        result = session.compile(build_gemm(8, 8, 8))
+        solves = [r for r in tracer.records if r.name == "ilp.solve"]
+        statistics = result.solver_statistics
+        assert len(solves) == statistics["solve_calls"]
+        for counter in ("pivots", "nodes", "warm_start_hits"):
+            assert sum(r.counters[counter] for r in solves) == statistics[counter]
+
+    def test_schedules_identical_tracing_on_and_off(self):
+        from repro.polyhedra.emptiness import RedundancyProber
+
+        # Both compiles must start from a cold process-shared verdict store,
+        # or the second one answers its irredundancy probes from the first.
+        RedundancyProber.clear_shared_store()
+        plain = Session().compile(build_jacobi_1d())
+        RedundancyProber.clear_shared_store()
+        traced = Session(tracer=Tracer()).compile(build_jacobi_1d())
+        assert str(traced.schedule) == str(plain.schedule)
+        deterministic = lambda stats: {
+            k: v for k, v in stats.items() if not k.endswith("_seconds")
+        }
+        assert deterministic(traced.solver_statistics) == deterministic(
+            plain.solver_statistics
+        )
+
+    def test_compile_trace_argument_writes_perfetto_file(self, tmp_path):
+        path = tmp_path / "one.json"
+        Session().compile(build_listing1(), trace=str(path))
+        records = load_chrome_trace(path)
+        assert {"pipeline.compile", "scheduler.run"} <= {r.name for r in records}
+
+    def test_repro_trace_env_front_door(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_TRACE", str(path))
+        session = Session()
+        assert session.tracer.enabled
+        session.compile(build_listing1())
+        assert {"pipeline.compile"} <= {r.name for r in load_chrome_trace(path)}
+
+    def test_compile_many_parallel_nests_spans_per_compile(self):
+        tracer = Tracer()
+        session = Session(tracer=tracer)
+        jobs = [CompilationJob(scop=build_gemm(n, n, n)) for n in (6, 7, 8, 9)]
+        session.compile_many(jobs, parallel=4)
+        records = tracer.records
+        roots = [r for r in records if r.name == "pipeline.compile"]
+        assert len(roots) == 4
+        by_id = {r.span_id: r for r in records}
+        # Every non-root span chains up to the pipeline.compile of its own
+        # thread — concurrent compiles never adopt each other's spans.
+        for record in records:
+            if record.parent_id is None:
+                assert record.name == "pipeline.compile"
+                continue
+            cursor = record
+            while cursor.parent_id is not None:
+                parent = by_id[cursor.parent_id]
+                assert parent.thread_id == record.thread_id
+                cursor = parent
+            assert cursor.name == "pipeline.compile"
+
+
+# --------------------------------------------------------------------------- #
+# Per-context FM statistics (the FM_STATS race regression)
+# --------------------------------------------------------------------------- #
+class TestFmStatisticsIsolation:
+    def test_concurrent_compiles_report_exact_per_result_fm_counters(self):
+        sizes = (6, 7, 8, 9)
+        sequential = {}
+        for n in sizes:
+            result = Session().compile(build_gemm(n, n, n))
+            sequential[n] = {
+                k: v for k, v in result.solver_statistics.items() if k.startswith("fm_")
+            }
+        assert all(stats["fm_rows_generated"] > 0 for stats in sequential.values())
+        session = Session()
+        jobs = [CompilationJob(scop=build_gemm(n, n, n)) for n in sizes]
+        results = session.compile_many(jobs, parallel=4)
+        for n, result in zip(sizes, results):
+            concurrent = {
+                k: v for k, v in result.solver_statistics.items() if k.startswith("fm_")
+            }
+            for key, value in sequential[n].items():
+                if key.endswith("_seconds"):
+                    continue  # wall time is the one legitimately noisy counter
+                assert concurrent[key] == value, (n, key)
+
+
+# --------------------------------------------------------------------------- #
+# Metrics registry
+# --------------------------------------------------------------------------- #
+class TestMetrics:
+    def test_counters_are_exact_and_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "events")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_registration_is_idempotent_but_kind_checked(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_labels_and_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        requests = registry.counter("req_total", "requests")
+        requests.labels(route="/v1/compile", status="200").inc(3)
+        registry.gauge("uptime_seconds", "uptime").set(1.5)
+        histogram = registry.histogram("latency_seconds", buckets=(0.1, 1.0))
+        histogram.labels(route="/v1/compile").observe(0.05)
+        histogram.labels(route="/v1/compile").observe(5.0)
+        text = registry.render_prometheus()
+        assert "# HELP req_total requests" in text
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{route="/v1/compile",status="200"} 3' in text
+        assert "uptime_seconds 1.5" in text
+        assert 'latency_seconds_bucket{route="/v1/compile",le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{route="/v1/compile",le="+Inf"} 2' in text
+        assert 'latency_seconds_count{route="/v1/compile"} 2' in text
+
+    def test_collect_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help").labels(kind="a").inc(2)
+        snapshot = registry.collect()
+        assert snapshot["c"]["kind"] == "counter"
+        assert snapshot["c"]["samples"] == [
+            {"name": "c", "labels": {"kind": "a"}, "value": 2}
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# Service integration: /v1/metrics, spans, traces, access log
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def server():
+    instance = CompilationServer()
+    instance.start_in_thread()
+    yield instance
+    instance.shutdown()
+
+
+class TestServiceObservability:
+    def test_metrics_endpoint_serves_prometheus_text(self, server):
+        client = ServiceClient(server.url)
+        client.compile(build_gemm(6, 6, 6))
+        client.compile(build_gemm(6, 6, 6))
+        import urllib.request
+
+        with urllib.request.urlopen(server.url + "/v1/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            text = response.read().decode()
+        assert 'repro_compiles_total{origin="miss"} 1' in text
+        assert 'repro_compiles_total{origin="memory"} 1' in text
+        assert 'repro_requests_total{route="/v1/compile",status="200"} 2' in text
+        assert "repro_request_seconds_bucket" in text
+        assert 'repro_session_cache_events{event="result_misses"} 1' in text
+
+    def test_metrics_requires_read_capability(self):
+        auth = ServiceAuth({"writer": "compile", "reader": "read"})
+        server = CompilationServer(auth=auth)
+        server.start_in_thread()
+        try:
+            with pytest.raises(ServiceClientError) as unauthorized:
+                ServiceClient(server.url).stats()  # no token at all -> 401
+            assert unauthorized.value.status == 401
+            import urllib.error
+            import urllib.request
+
+            request = urllib.request.Request(
+                server.url + "/v1/metrics", headers={"X-API-Token": "writer"}
+            )
+            with pytest.raises(urllib.error.HTTPError) as forbidden:
+                urllib.request.urlopen(request)
+            assert forbidden.value.code == 403
+            request = urllib.request.Request(
+                server.url + "/v1/metrics", headers={"X-API-Token": "reader"}
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200
+        finally:
+            server.shutdown()
+
+    def test_request_and_job_spans_carry_cache_origin(self):
+        tracer = Tracer()
+        session = Session(tracer=tracer)
+        server = CompilationServer(session=session)
+        server.start_in_thread()
+        try:
+            client = ServiceClient(server.url)
+            client.compile(build_gemm(6, 6, 6))
+            client.compile(build_gemm(6, 6, 6))
+            job = client.submit(build_gemm(6, 6, 6))
+            client.wait(job["id"])
+        finally:
+            server.shutdown()
+        requests = [r for r in tracer.records if r.name == "service.request"]
+        compile_spans = [
+            r for r in requests if r.counters.get("route") == "/v1/compile"
+        ]
+        assert [r.counters["cache"] for r in compile_spans] == ["miss", "memory"]
+        assert all(r.counters["status"] == 200 for r in compile_spans)
+        jobs = [r for r in tracer.records if r.name == "service.job"]
+        assert len(jobs) == 1 and jobs[0].counters["cache"] == "memory"
+
+    def test_trace_dir_writes_one_file_per_compiled_request(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        server = CompilationServer(trace_dir=str(trace_dir))
+        server.start_in_thread()
+        try:
+            client = ServiceClient(server.url)
+            client.compile(build_gemm(6, 6, 6))
+            client.compile(build_gemm(6, 6, 6))  # memory hit: no new file
+        finally:
+            server.shutdown()
+        files = sorted(trace_dir.glob("*.json"))
+        assert len(files) == 1
+        assert {"pipeline.compile", "scheduler.run"} <= {
+            r.name for r in load_chrome_trace(files[0])
+        }
+
+    def test_access_log_is_opt_in(self, capfd):
+        server = CompilationServer()  # default: off
+        server.start_in_thread()
+        try:
+            ServiceClient(server.url).healthz()
+        finally:
+            server.shutdown()
+        assert capfd.readouterr().err == ""
+        server = CompilationServer(access_log=True)
+        server.start_in_thread()
+        try:
+            ServiceClient(server.url).healthz()
+        finally:
+            server.shutdown()
+        lines = [line for line in capfd.readouterr().err.splitlines() if line.strip()]
+        record = json.loads(lines[-1])
+        assert record["method"] == "GET"
+        assert record["route"] == "/v1/healthz"
+        assert record["status"] == 200
+        assert record["duration_ms"] >= 0
